@@ -1,0 +1,133 @@
+// X3 — Section IV: application-kernel wall-time regression and QoS
+// monitoring.
+//
+// Paper: "We have done some initial svm and rF regression analysis of the
+// application kernel data.  Initial efforts have been successful in
+// modeling wall time on Stampede for all of the application kernels."
+// This bench (a) regenerates an app-kernel history with an injected
+// system-wide degradation, (b) shows the CUSUM control chart catching it
+// (the application-kernel QoS mechanism of Section I), and (c) fits
+// ε-SVR and random-forest regressors to model kernel wall time.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "xdmod/appkernel.hpp"
+
+namespace {
+
+using namespace xdmodml;
+using namespace xdmodml::bench;
+
+void run_experiment() {
+  Rng rng(31);
+  const std::vector<std::string> kernels{"xhpl", "nwchem", "namd",
+                                         "graph500", "ior"};
+  xdmod::AppKernelHistoryConfig cfg;
+  cfg.days = 90.0 * std::min(4.0, std::max(1.0, scale_factor()));
+  const std::vector<xdmod::DegradationEvent> events{{55.0, 70.0, 1.35}};
+  const auto runs =
+      xdmod::generate_appkernel_history(kernels, cfg, events, rng);
+  xdmod::AppKernelStore store;
+  store.add(runs);
+
+  std::printf("=== Section IV: application-kernel QoS + wall-time "
+              "regression ===\n");
+  std::printf("%zu runs of %zu kernels over %.0f days; degradation "
+              "injected on days [55, 70) at 1.35x\n",
+              store.size(), kernels.size(), cfg.days);
+
+  // (a) control-chart detection per kernel — CUSUM vs EWMA.
+  TextTable detect({"kernel", "nodes", "CUSUM first alarm (day)",
+                    "EWMA first alarm (day)"});
+  for (const auto& kernel : kernels) {
+    const auto series = store.series(kernel, 4);
+    const auto cusum = xdmod::detect_degradations(series, {});
+    const auto ewma = xdmod::detect_degradations_ewma(series, {});
+    const auto first_day = [&](const std::vector<std::size_t>& alarms) {
+      return alarms.empty()
+                 ? std::string("-")
+                 : format_double(series[alarms.front()].day, 1);
+    };
+    detect.add_row({kernel, "4", first_day(cusum), first_day(ewma)});
+  }
+  std::printf("\nCUSUM control chart (paper §I: 'process control "
+              "algorithms automatically detect underperforming application "
+              "kernels'):\n%s",
+              detect.render().c_str());
+
+  // (b) wall-time regression: train on a random 70%, test on the rest.
+  auto ds = store.regression_dataset();
+  Rng split_rng(32);
+  std::vector<std::size_t> order(ds.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  split_rng.shuffle(order);
+  const std::size_t n_train = order.size() * 7 / 10;
+  const std::vector<std::size_t> train_rows(order.begin(),
+                                            order.begin() + n_train);
+  const std::vector<std::size_t> test_rows(order.begin() + n_train,
+                                           order.end());
+  const auto train = ds.subset(train_rows);
+  const auto test = ds.subset(test_rows);
+
+  ml::Standardizer st;
+  const auto Xtr = st.fit_transform(train.X);
+  const auto Xte = st.transform(test.X);
+
+  TextTable reg({"regressor", "test R^2", "test MAE (s)"});
+  {
+    ml::SvmConfig svr_cfg;
+    svr_cfg.kernel = ml::Kernel::rbf(0.5);
+    svr_cfg.c = 1000.0;
+    svr_cfg.epsilon = 5.0;
+    ml::SvmRegressor svr(svr_cfg);
+    svr.fit(Xtr, train.targets);
+    const auto pred = svr.predict_batch(Xte);
+    reg.add_row({"svm (eps-SVR, rbf)",
+                 format_double(ml::r_squared(test.targets, pred), 4),
+                 format_double(ml::mean_absolute_error(test.targets, pred),
+                               2)});
+  }
+  {
+    ml::ForestConfig fc;
+    fc.num_trees = 200;
+    ml::RandomForestRegressor rf(fc, 6);
+    rf.fit(Xtr, train.targets);
+    const auto pred = rf.predict_batch(Xte);
+    reg.add_row({"randomForest",
+                 format_double(ml::r_squared(test.targets, pred), 4),
+                 format_double(ml::mean_absolute_error(test.targets, pred),
+                               2)});
+  }
+  std::printf("\nwall-time regression (train %zu / test %zu runs):\n%s",
+              train.size(), test.size(), reg.render().c_str());
+  std::printf("\npaper: svm and rF regression 'successful in modeling wall "
+              "time on Stampede for all of the application kernels'.\n");
+}
+
+void bm_cusum_detection(benchmark::State& state) {
+  Rng rng(33);
+  const std::vector<std::string> kernels{"xhpl"};
+  xdmod::AppKernelHistoryConfig cfg;
+  cfg.days = 365.0;
+  const auto runs = xdmod::generate_appkernel_history(kernels, cfg, {}, rng);
+  xdmod::AppKernelStore store;
+  store.add(runs);
+  const auto series = store.series("xhpl", 4);
+  for (auto _ : state) {
+    auto alarms = xdmod::detect_degradations(series, {});
+    benchmark::DoNotOptimize(alarms);
+  }
+  state.SetItemsProcessed(state.iterations() * series.size());
+}
+BENCHMARK(bm_cusum_detection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

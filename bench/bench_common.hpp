@@ -1,0 +1,111 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary reproduces one table or figure of the paper: it
+// generates a synthetic Stampede-like workload, trains the relevant
+// model(s), prints the paper-style table/series to stdout, and then runs
+// a few google-benchmark timings of the hot operations.  EXPERIMENTS.md
+// records the paper-vs-measured comparison for each binary.
+//
+// Scale: the paper trains on 100k jobs; that is out of budget for a
+// 2-core CI box, so each bench defaults to a few hundred jobs per class
+// and honours the XDMODML_SCALE environment variable (a positive float
+// multiplier) for larger runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/job_classifier.hpp"
+#include "ml/metrics.hpp"
+#include "supremm/dataset_builder.hpp"
+#include "util/table.hpp"
+#include "workload/dataset_helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace xdmodml::bench {
+
+/// Scale multiplier from the environment (default 1.0).
+inline double scale_factor() {
+  if (const char* s = std::getenv("XDMODML_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+/// Applies the scale factor with a floor.
+inline std::size_t scaled(std::size_t base, std::size_t floor = 10) {
+  const auto v = static_cast<std::size_t>(
+      static_cast<double>(base) * scale_factor());
+  return v < floor ? floor : v;
+}
+
+/// The paper's 20 Table-2 applications, in Table 2's row order.
+inline const std::vector<std::string>& table2_applications() {
+  static const std::vector<std::string> apps{
+      "AMBER",  "ARPS",      "CACTUS", "CHARMM++",  "CHARMM",
+      "CP2K",   "ENZO",      "FD3D",   "FLASH4",    "GADGET",
+      "GROMACS", "IFORTDDWN", "LAMMPS", "NAMD",      "OPENFOAM",
+      "PYTHON", "Q-ESPRESSO", "SIESTA", "VASP",      "WRF"};
+  return apps;
+}
+
+/// Balanced training pool over the Table-2 applications.
+inline std::vector<workload::GeneratedJob> generate_table2_train(
+    workload::WorkloadGenerator& gen, std::size_t per_class) {
+  std::vector<workload::GeneratedJob> jobs;
+  for (const auto& app : table2_applications()) {
+    auto batch = gen.generate_for(app, per_class);
+    jobs.insert(jobs.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
+  return jobs;
+}
+
+/// Native-mix test pool restricted to the Table-2 applications.
+inline std::vector<workload::GeneratedJob> generate_table2_test(
+    workload::WorkloadGenerator& gen, std::size_t target) {
+  std::vector<workload::GeneratedJob> jobs;
+  while (jobs.size() < target) {
+    auto batch = gen.generate_native(target);
+    for (auto& job : batch) {
+      const auto& apps = table2_applications();
+      if (std::find(apps.begin(), apps.end(), job.summary.application) !=
+              apps.end() &&
+          jobs.size() < target) {
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  return jobs;
+}
+
+/// Prints a threshold curve as an aligned table.
+inline void print_threshold_curve(
+    const std::string& title,
+    const std::vector<ml::ThresholdPoint>& curve, bool labeled) {
+  std::printf("\n%s\n", title.c_str());
+  std::vector<std::string> header{"threshold", "% classified"};
+  if (labeled) header.push_back("% correctly classified");
+  TextTable table(std::move(header));
+  for (const auto& pt : curve) {
+    std::vector<std::string> row{format_double(pt.threshold, 2),
+                                 format_percent(pt.classified_fraction, 1)};
+    if (labeled) row.push_back(format_percent(pt.correct_fraction, 1));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+/// Finds the curve point at a threshold (exact grid match).
+inline const ml::ThresholdPoint& curve_at(
+    const std::vector<ml::ThresholdPoint>& curve, double threshold) {
+  for (const auto& pt : curve) {
+    if (std::abs(pt.threshold - threshold) < 1e-9) return pt;
+  }
+  throw InvalidArgument("threshold not on grid");
+}
+
+}  // namespace xdmodml::bench

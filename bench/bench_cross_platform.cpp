@@ -1,0 +1,127 @@
+// X2 — Section IV: cross-platform classification.
+//
+// Paper: "Some initial efforts developing time dependent attribute based
+// cross platform classification models showed limited success.  They were
+// superior to the mean based cross platform classifiers."  We train on a
+// Stampede-like platform and test on a Haswell-era platform with
+// different clock, core count, memory and fabric scales: mean-value
+// signatures shift with the hardware, but the normalized time-shape
+// attributes mostly survive the move.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace xdmodml;
+using namespace xdmodml::bench;
+
+void run_experiment() {
+  workload::GeneratorConfig stampede_cfg;
+  stampede_cfg.platform = workload::Platform::stampede();
+  workload::GeneratorConfig maverick_cfg;
+  maverick_cfg.platform = workload::Platform::maverick();
+
+  auto gen_a = workload::WorkloadGenerator::standard(stampede_cfg, 991);
+  auto gen_b = workload::WorkloadGenerator::standard(maverick_cfg, 992);
+
+  const auto train_jobs = gen_a.generate_balanced(scaled(120));
+  const auto same_test = gen_a.generate_native(scaled(1500));
+  const auto cross_test = gen_b.generate_native(scaled(1500));
+  const auto schema = supremm::AttributeSchema::full();
+  const auto time_names = gen_a.time_feature_names();
+  std::vector<std::string> apps;
+  for (const auto& sig : gen_a.signatures()) apps.push_back(sig.application);
+
+  auto evaluate = [&](const ml::Dataset& train, const ml::Dataset& test) {
+    ml::Standardizer st;
+    const auto X = st.fit_transform(train.X);
+    ml::ForestConfig fc;
+    fc.num_trees = 200;
+    ml::RandomForestClassifier rf(fc, 4);
+    rf.fit(X, train.labels, static_cast<int>(train.num_classes()));
+    const auto Xt = st.transform(test.X);
+    return ml::accuracy(test.labels, rf.predict_batch(Xt));
+  };
+
+  std::printf("=== Section IV: cross-platform classification ===\n");
+  std::printf("train: %s; test: %s vs %s\n",
+              stampede_cfg.platform.name.c_str(),
+              stampede_cfg.platform.name.c_str(),
+              maverick_cfg.platform.name.c_str());
+  TextTable table({"attribute set", "same-platform %", "cross-platform %"});
+
+  const auto label = supremm::label_by_application();
+  {
+    const auto train =
+        workload::build_summary_dataset(train_jobs, schema, label, apps);
+    const auto same =
+        workload::build_summary_dataset(same_test, schema, label, apps);
+    const auto cross =
+        workload::build_summary_dataset(cross_test, schema, label, apps);
+    table.add_row({"mean/COV attributes",
+                   format_percent(evaluate(train, same), 2),
+                   format_percent(evaluate(train, cross), 2)});
+  }
+  {
+    const auto train =
+        workload::build_time_dataset(train_jobs, time_names, label, apps);
+    const auto same =
+        workload::build_time_dataset(same_test, time_names, label, apps);
+    const auto cross =
+        workload::build_time_dataset(cross_test, time_names, label, apps);
+    table.add_row({"time attributes (raw + shape)",
+                   format_percent(evaluate(train, same), 2),
+                   format_percent(evaluate(train, cross), 2)});
+
+    // Shape-only arm: restrict to the dimensionless temporal statistics
+    // (the trailing _tcov/_burst/_trend columns) — the only part of the
+    // signature that does not move with the hardware.
+    std::vector<std::size_t> shape_cols;
+    for (std::size_t i = 0; i < time_names.size(); ++i) {
+      const auto& name = time_names[i];
+      if (name.find("_tcov") != std::string::npos ||
+          name.find("_burst") != std::string::npos ||
+          name.find("_trend") != std::string::npos) {
+        shape_cols.push_back(i);
+      }
+    }
+    const auto train_shape = train.select_features(shape_cols);
+    const auto same_shape = same.select_features(shape_cols);
+    const auto cross_shape = cross.select_features(shape_cols);
+    table.add_row({"time attributes (shape only)",
+                   format_percent(evaluate(train_shape, same_shape), 2),
+                   format_percent(evaluate(train_shape, cross_shape), 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\npaper: cross-platform classification shows 'limited "
+              "success'; time-dependent attribute models are 'superior to "
+              "the mean based cross platform classifiers'.  The mean and "
+              "raw-rate attributes move with the hardware; only the "
+              "dimensionless temporal-shape statistics survive the "
+              "platform change, which is why their cross-platform drop is "
+              "the smallest.\n");
+}
+
+void bm_cross_platform_generation(benchmark::State& state) {
+  workload::GeneratorConfig cfg;
+  cfg.platform = workload::Platform::maverick();
+  auto gen = workload::WorkloadGenerator::standard(cfg, 993);
+  for (auto _ : state) {
+    auto jobs = gen.generate_native(100);
+    benchmark::DoNotOptimize(jobs);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(bm_cross_platform_generation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

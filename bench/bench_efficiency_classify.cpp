@@ -1,0 +1,108 @@
+// S2-eff — Section II efficiency classification.
+//
+// The paper labels jobs efficient / inefficient with simple rules on a
+// deliberately separable set and finds: Naive Bayes performs very poorly;
+// SVM and random forest achieve nearly 100% on withheld test data.
+// This bench reproduces the three-way comparison with a class-balanced
+// train/test protocol.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "supremm/efficiency.hpp"
+
+namespace {
+
+using namespace xdmodml;
+using namespace xdmodml::bench;
+
+struct Pools {
+  ml::Dataset train;
+  ml::Dataset test;
+};
+
+Pools make_pools(std::size_t total_jobs) {
+  // Mix native jobs (mostly efficient) with custom/uncategorized jobs
+  // (often inefficient) so both classes are populated.  Jobs within 15%
+  // of any rule threshold are dropped — the paper's protocol ("The data
+  // were selected to be completely separable and only intended to test
+  // different machine learning classification tools") — then balance.
+  auto gen = workload::WorkloadGenerator::standard({}, 515);
+  auto jobs = gen.generate_native(total_jobs / 2);
+  auto custom = gen.generate_uncategorized(total_jobs / 2);
+  jobs.insert(jobs.end(), std::make_move_iterator(custom.begin()),
+              std::make_move_iterator(custom.end()));
+
+  const auto schema = supremm::AttributeSchema::full();
+  const std::vector<std::string> order{"efficient", "inefficient"};
+  const supremm::EfficiencyRules rules;
+  const supremm::LabelFn margin_label =
+      [rules](const supremm::JobSummary& job) -> std::string {
+    const auto verdict = rules.clearly_inefficient(job, 0.15);
+    if (!verdict.has_value()) return {};  // boundary job: drop
+    return *verdict ? "inefficient" : "efficient";
+  };
+  auto ds =
+      workload::build_summary_dataset(jobs, schema, margin_label, order);
+
+  Rng rng(7);
+  const auto counts = ds.class_counts();
+  const std::size_t per_class = std::min(counts[0], counts[1]);
+  XDMODML_CHECK(per_class > 0,
+                "efficiency rules labelled every job the same way — "
+                "rule thresholds are miscalibrated for this workload");
+  const auto balanced = ml::balanced_sample(ds, per_class, rng);
+  ds = ds.subset(balanced);
+  const auto split = ml::stratified_split(ds, 0.6, rng);
+  return {ds.subset(split.train), ds.subset(split.test)};
+}
+
+double evaluate(core::Algorithm algorithm, const Pools& pools) {
+  core::JobClassifierConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.forest.num_trees = 100;
+  core::JobClassifier clf(cfg);
+  clf.train(pools.train);
+  return clf.evaluate(pools.test).accuracy;
+}
+
+void run_experiment() {
+  const auto pools = make_pools(scaled(12000));
+  std::printf("=== Section II: efficient/inefficient classification ===\n");
+  std::printf("train %zu jobs, test %zu jobs (class-balanced)\n",
+              pools.train.size(), pools.test.size());
+  TextTable table({"classifier", "test accuracy %"});
+  for (const auto algorithm :
+       {core::Algorithm::kNaiveBayes, core::Algorithm::kSvm,
+        core::Algorithm::kRandomForest}) {
+    const double acc = evaluate(algorithm, pools);
+    table.add_row({core::algorithm_name(algorithm),
+                   format_percent(acc, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("paper: nb performs very poorly; svm and rF achieve nearly "
+              "100%% on this separable problem\n");
+}
+
+void bm_train_efficiency_rf(benchmark::State& state) {
+  const auto pools = make_pools(1200);
+  for (auto _ : state) {
+    core::JobClassifierConfig cfg;
+    cfg.algorithm = core::Algorithm::kRandomForest;
+    cfg.forest.num_trees = 50;
+    core::JobClassifier clf(cfg);
+    clf.train(pools.train);
+    benchmark::DoNotOptimize(clf);
+  }
+}
+BENCHMARK(bm_train_efficiency_rf)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

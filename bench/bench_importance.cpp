@@ -1,0 +1,109 @@
+// F5 — Figure 5: attribute importance from the randomForest model.
+//
+// Paper: the four most important attributes are MEMORY USED, CPI,
+// CPU SYSTEM and CPLD; the next six (MEMORY USED COV ... LUSTRE
+// TRANSMITTED COV) still contribute; the final ~20 — including every
+// non-IO network attribute — contribute little.  Includes the paper's
+// correlated-variable caveat demonstration (CPU USER/SYSTEM/IDLE sum to
+// one, so permuting one understates its importance).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/importance.hpp"
+
+namespace {
+
+using namespace xdmodml;
+using namespace xdmodml::bench;
+
+void run_experiment() {
+  auto gen = workload::WorkloadGenerator::standard({}, 666);
+  const auto train_jobs = generate_table2_train(gen, scaled(150));
+  const auto schema = supremm::AttributeSchema::full();
+  const auto& apps = table2_applications();
+  const auto train = workload::build_summary_dataset(
+      train_jobs, schema, supremm::label_by_application(), apps);
+
+  std::printf("=== Figure 5: randomForest attribute importance ===\n");
+  ml::ForestConfig fc;
+  fc.num_trees = 200;
+  const auto ranking = core::rank_attributes(train, fc, 7);
+
+  const double top = ranking.front().mean_decrease_accuracy;
+  TextTable table({"rank", "attribute", "mean decr. accuracy", ""},
+                  {Align::kRight, Align::kLeft, Align::kRight, Align::kLeft});
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    table.add_row({std::to_string(i + 1), ranking[i].name,
+                   format_double(ranking[i].mean_decrease_accuracy, 4),
+                   ascii_bar(ranking[i].mean_decrease_accuracy, top, 30)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\npaper: top 4 = MEMORY USED, CPI, CPU SYSTEM, CPLD; "
+              "non-IO network attributes all land in the tail.\n");
+
+  // Where do the network attributes rank?
+  std::printf("\nnetwork-attribute ranks: ");
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    const auto& name = ranking[i].name;
+    if (name.find("ETHERNET") != std::string::npos ||
+        name.find("INFINIBAND") != std::string::npos) {
+      std::printf("%s=%zu ", name.c_str(), i + 1);
+    }
+  }
+  std::printf("\n");
+
+  // Correlated-variable caveat: drop CPU_SYSTEM and watch CPU_USER /
+  // CPU_IDLE importance rise (they sum to one with CPU_SYSTEM).
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    if (schema.attributes()[i].name() != "CPU_SYSTEM") keep.push_back(i);
+  }
+  const auto reduced = train.select_features(keep);
+  const auto reduced_ranking = core::rank_attributes(reduced, fc, 7);
+  auto rank_of = [](const std::vector<core::RankedAttribute>& r,
+                    const std::string& name) -> std::size_t {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (r[i].name == name) return i + 1;
+    }
+    return 0;
+  };
+  std::printf("\ncorrelated-variable caveat (paper: removing CPU SYSTEM "
+              "should promote CPU USER / CPU IDLE):\n");
+  std::printf("  CPU_USER rank: %zu -> %zu; CPU_IDLE rank: %zu -> %zu "
+              "(of %zu / %zu attributes)\n",
+              rank_of(ranking, "CPU_USER"),
+              rank_of(reduced_ranking, "CPU_USER"),
+              rank_of(ranking, "CPU_IDLE"),
+              rank_of(reduced_ranking, "CPU_IDLE"), ranking.size(),
+              reduced_ranking.size());
+}
+
+void bm_permutation_importance(benchmark::State& state) {
+  auto gen = workload::WorkloadGenerator::standard({}, 667);
+  const auto jobs = gen.generate_native(500);
+  const auto schema = supremm::AttributeSchema::full();
+  const auto ds = workload::build_summary_dataset(
+      jobs, schema, supremm::label_by_application());
+  ml::Standardizer st;
+  const auto X = st.fit_transform(ds.X);
+  ml::ForestConfig fc;
+  fc.num_trees = 50;
+  ml::RandomForestClassifier rf(fc);
+  rf.fit(X, ds.labels, static_cast<int>(ds.num_classes()));
+  for (auto _ : state) {
+    auto imp = rf.permutation_importance(X, ds.labels);
+    benchmark::DoNotOptimize(imp);
+  }
+}
+BENCHMARK(bm_permutation_importance)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// F2 — Figure 2: the ROC-like comparison of the SVM and RF classifiers
+// using Equation 1.
+//
+//   (x, y) = ( Σ(P_t ∧ C_correct)/N_correct, Σ(P_t ∧ C_incorrect)/N_incorrect )
+//
+// swept over thresholds 1.0 down to 0.05 in steps of 0.05.  Paper: "Both
+// classifiers do an excellent job on this classification problem and
+// approach the ideal behavior."
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace xdmodml;
+using namespace xdmodml::bench;
+
+void run_experiment() {
+  auto gen = workload::WorkloadGenerator::standard({}, 222);
+  const auto train_jobs = generate_table2_train(gen, scaled(350));
+  const auto test_jobs = generate_table2_test(gen, scaled(2500));
+  const auto schema = supremm::AttributeSchema::full();
+  const auto& apps = table2_applications();
+  const auto train = workload::build_summary_dataset(
+      train_jobs, schema, supremm::label_by_application(), apps);
+  const auto test = workload::build_summary_dataset(
+      test_jobs, schema, supremm::label_by_application(), apps);
+
+  std::printf("=== Figure 2: ROC-like curves (Equation 1), svm vs rF ===\n");
+  std::printf("threshold grid: 1.00 down to 0.05, step 0.05\n\n");
+
+  auto run = [&](core::Algorithm algorithm) {
+    core::JobClassifierConfig cfg;
+    cfg.algorithm = algorithm;
+    cfg.forest.num_trees = 200;
+    core::JobClassifier clf(cfg);
+    clf.train(train);
+    return clf.evaluate(test);
+  };
+  const auto svm_eval = run(core::Algorithm::kSvm);
+  const auto rf_eval = run(core::Algorithm::kRandomForest);
+
+  TextTable table({"threshold", "svm x", "svm y", "rF x", "rF y"});
+  for (std::size_t i = 0; i < svm_eval.threshold_curve.size(); ++i) {
+    const auto& s = svm_eval.threshold_curve[i];
+    const auto& r = rf_eval.threshold_curve[i];
+    table.add_row(format_double(s.threshold, 2),
+                  {s.eq1_x, s.eq1_y, r.eq1_x, r.eq1_y}, 3);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nideal behavior: x -> 1 while y stays near 0. overall "
+              "accuracies: svm %s%%, rF %s%%\n",
+              format_percent(svm_eval.accuracy, 2).c_str(),
+              format_percent(rf_eval.accuracy, 2).c_str());
+
+  // Area-under-curve style scalar for the comparison.
+  auto auc = [](const std::vector<ml::ThresholdPoint>& curve) {
+    // Trapezoid over (y, x) points sorted by y; both curves start near
+    // (0,0) at t=1 and end near (1,1) at t=0.05.
+    double area = 0.0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+      const double dy = curve[i].eq1_y - curve[i - 1].eq1_y;
+      area += dy * 0.5 * (curve[i].eq1_x + curve[i - 1].eq1_x);
+    }
+    // Close the polygon to y=1.
+    const auto& last = curve.back();
+    area += (1.0 - last.eq1_y) * last.eq1_x;
+    return area;
+  };
+  std::printf("AUC-like score: svm %.4f, rF %.4f (1.0 = ideal)\n",
+              auc(svm_eval.threshold_curve), auc(rf_eval.threshold_curve));
+}
+
+void bm_rf_predict_proba(benchmark::State& state) {
+  auto gen = workload::WorkloadGenerator::standard({}, 223);
+  const auto jobs = gen.generate_native(600);
+  const auto schema = supremm::AttributeSchema::full();
+  const auto ds = workload::build_summary_dataset(
+      jobs, schema, supremm::label_by_application());
+  ml::ForestConfig fc;
+  fc.num_trees = 100;
+  ml::RandomForestClassifier rf(fc);
+  ml::Standardizer st;
+  const auto X = st.fit_transform(ds.X);
+  rf.fit(X, ds.labels, static_cast<int>(ds.num_classes()));
+  for (auto _ : state) {
+    auto proba = rf.predict_proba(X.row(0));
+    benchmark::DoNotOptimize(proba);
+  }
+}
+BENCHMARK(bm_rf_predict_proba)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// F1 — Figure 1: percentage of jobs classified, and correctly classified,
+// as a function of the probability threshold.
+//
+// Paper: "over 85% of the test jobs are considered classified, even if we
+// require a 90% probability threshold", and "over 90% of the jobs can be
+// classified while incurring very few misclassifications".  Ablation arm:
+// naive vote-fraction probabilities instead of Platt + pairwise coupling.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace xdmodml;
+using namespace xdmodml::bench;
+
+void run_experiment() {
+  auto gen = workload::WorkloadGenerator::standard({}, 111);
+  const auto train_jobs = generate_table2_train(gen, scaled(350));
+  const auto test_jobs = generate_table2_test(gen, scaled(2500));
+  const auto schema = supremm::AttributeSchema::full();
+  const auto& apps = table2_applications();
+  const auto train = workload::build_summary_dataset(
+      train_jobs, schema, supremm::label_by_application(), apps);
+  const auto test = workload::build_summary_dataset(
+      test_jobs, schema, supremm::label_by_application(), apps);
+
+  std::printf("=== Figure 1: %% classified / %% correctly classified vs "
+              "probability threshold (svm) ===\n");
+  core::JobClassifierConfig cfg;
+  cfg.algorithm = core::Algorithm::kSvm;
+  core::JobClassifier clf(cfg);
+  clf.train(train);
+  const auto eval = clf.evaluate(test);
+  print_threshold_curve("coupled Platt probabilities:", eval.threshold_curve,
+                        true);
+  const auto& p90 = curve_at(eval.threshold_curve, 0.90);
+  std::printf("\nat t=0.90: %s%% classified (paper: >85%%), %s%% correctly\n",
+              format_percent(p90.classified_fraction, 1).c_str(),
+              format_percent(p90.correct_fraction, 1).c_str());
+
+  // Ablation: vote-fraction probabilities.
+  core::JobClassifierConfig vote_cfg = cfg;
+  vote_cfg.svm.probability = false;
+  core::JobClassifier vote_clf(vote_cfg);
+  vote_clf.train(train);
+  const auto vote_eval = vote_clf.evaluate(test);
+  print_threshold_curve(
+      "ablation — one-vs-one vote fractions (no Platt calibration):",
+      vote_eval.threshold_curve, true);
+  std::printf("\nvote fractions saturate near (k-1)/k of the vote and are "
+              "not calibrated: the curve shape degrades, which is why the "
+              "paper (and LIBSVM) couple Platt sigmoids instead.\n");
+}
+
+void bm_threshold_sweep(benchmark::State& state) {
+  std::vector<ml::Prediction> preds;
+  std::vector<int> actual;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    preds.push_back({static_cast<int>(rng.uniform_index(20)),
+                     rng.uniform()});
+    actual.push_back(static_cast<int>(rng.uniform_index(20)));
+  }
+  const auto grid = ml::default_threshold_grid();
+  for (auto _ : state) {
+    auto curve = ml::threshold_sweep(preds, actual, grid);
+    benchmark::DoNotOptimize(curve);
+  }
+  state.SetItemsProcessed(state.iterations() * preds.size());
+}
+BENCHMARK(bm_threshold_sweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// F3 — Figure 3: applying the trained 20-application SVM to the
+// Uncategorized and NA job pools.
+//
+// Paper: "Very few jobs can be classified, on the order of 20% or less,
+// for a ~0.8 probability threshold.  The contrast between Figures 1 and 3
+// is striking." — the unknown pools are custom codes unlike the community
+// applications the classifier knows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace xdmodml;
+using namespace xdmodml::bench;
+
+void run_experiment() {
+  auto gen = workload::WorkloadGenerator::standard({}, 333);
+  const auto train_jobs = generate_table2_train(gen, scaled(250));
+  const auto test_jobs = generate_table2_test(gen, scaled(1500));
+  const auto uncategorized = gen.generate_uncategorized(scaled(1200));
+  const auto na = gen.generate_na(scaled(1200));
+  const auto schema = supremm::AttributeSchema::full();
+  const auto& apps = table2_applications();
+
+  const auto train = workload::build_summary_dataset(
+      train_jobs, schema, supremm::label_by_application(), apps);
+  const auto test = workload::build_summary_dataset(
+      test_jobs, schema, supremm::label_by_application(), apps);
+
+  core::JobClassifierConfig cfg;
+  cfg.algorithm = core::Algorithm::kSvm;
+  core::JobClassifier clf(cfg);
+  clf.train(train);
+
+  std::printf("=== Figure 3: %% classified vs threshold for the "
+              "Uncategorized and NA pools ===\n");
+  std::printf("(trained on %zu balanced jobs over the 20 Table-2 apps)\n",
+              train.size());
+
+  const auto eval = clf.evaluate(test);
+  print_threshold_curve("known-application test set (Figure 1 reference):",
+                        eval.threshold_curve, true);
+
+  const auto uncat_pool = workload::build_summary_pool(uncategorized, schema);
+  const auto uncat_curve = clf.threshold_curve_unlabeled(uncat_pool);
+  print_threshold_curve("Uncategorized pool:", uncat_curve, false);
+
+  const auto na_pool = workload::build_summary_pool(na, schema);
+  const auto na_curve = clf.threshold_curve_unlabeled(na_pool);
+  print_threshold_curve("NA pool:", na_curve, false);
+
+  const double t = 0.80;
+  std::printf("\nat t=%.2f: known %s%%, Uncategorized %s%%, NA %s%% "
+              "classified (paper: unknown pools ~20%% or less)\n",
+              t,
+              format_percent(curve_at(eval.threshold_curve, t)
+                                 .classified_fraction, 1).c_str(),
+              format_percent(curve_at(uncat_curve, t).classified_fraction, 1)
+                  .c_str(),
+              format_percent(curve_at(na_curve, t).classified_fraction, 1)
+                  .c_str());
+}
+
+void bm_pool_prediction(benchmark::State& state) {
+  auto gen = workload::WorkloadGenerator::standard({}, 334);
+  std::vector<workload::GeneratedJob> train_jobs;
+  for (const auto& app : {"VASP", "NAMD", "LAMMPS"}) {
+    auto batch = gen.generate_for(app, 60);
+    train_jobs.insert(train_jobs.end(),
+                      std::make_move_iterator(batch.begin()),
+                      std::make_move_iterator(batch.end()));
+  }
+  const auto schema = supremm::AttributeSchema::full();
+  const auto train = workload::build_summary_dataset(
+      train_jobs, schema, supremm::label_by_application());
+  core::JobClassifierConfig cfg;
+  cfg.algorithm = core::Algorithm::kSvm;
+  core::JobClassifier clf(cfg);
+  clf.train(train);
+  const auto pool_jobs = gen.generate_uncategorized(100);
+  const auto pool = workload::build_summary_pool(pool_jobs, schema);
+  for (auto _ : state) {
+    auto curve = clf.threshold_curve_unlabeled(pool);
+    benchmark::DoNotOptimize(curve);
+  }
+  state.SetItemsProcessed(state.iterations() * pool.size());
+}
+BENCHMARK(bm_pool_prediction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The paper's headline workflow: train on identified community
+// applications, then probe the Uncategorized and NA job pools with a
+// probability threshold to decide which unknown jobs are actually
+// familiar applications in disguise.
+//
+//   ./build/examples/classify_unknown_jobs [threshold]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/job_classifier.hpp"
+#include "workload/dataset_helpers.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xdmodml;
+  const double threshold = argc > 1 ? std::atof(argv[1]) : 0.9;
+
+  auto generator = workload::WorkloadGenerator::standard({}, 7);
+  const auto train_jobs = generator.generate_balanced(60);
+  const auto uncategorized = generator.generate_uncategorized(300);
+  // The NA pool contains a minority of community applications launched
+  // outside ibrun — those are the recoverable ones.
+  const auto na = generator.generate_na(300, /*community_fraction=*/0.25);
+
+  const auto schema = supremm::AttributeSchema::full();
+  const auto train = workload::build_summary_dataset(
+      train_jobs, schema, supremm::label_by_application());
+
+  core::JobClassifierConfig config;
+  config.algorithm = core::Algorithm::kSvm;
+  core::JobClassifier classifier(config);
+  classifier.train(train);
+  std::printf("classifier trained on %zu applications; threshold %.2f\n\n",
+              train.class_names.size(), threshold);
+
+  auto probe = [&](const char* pool_name,
+                   const std::vector<workload::GeneratedJob>& pool) {
+    std::size_t classified = 0;
+    std::map<std::string, std::size_t> hits;
+    for (const auto& job : pool) {
+      const auto pred = classifier.predict(job.summary);
+      if (pred.probability >= threshold) {
+        ++classified;
+        ++hits[pred.class_name];
+      }
+    }
+    std::printf("%s pool: %zu of %zu jobs (%.1f%%) classified above "
+                "threshold\n",
+                pool_name, classified, pool.size(),
+                100.0 * static_cast<double>(classified) /
+                    static_cast<double>(pool.size()));
+    for (const auto& [app, count] : hits) {
+      std::printf("    %-12s %zu\n", app.c_str(), count);
+    }
+    std::printf("\n");
+  };
+  probe("Uncategorized", uncategorized);
+  probe("NA", na);
+
+  std::printf("paper: 'Very few jobs can be classified, on the order of "
+              "20%% or less, for a ~0.8 probability threshold' — the "
+              "unknown pools are dominated by custom codes unlike any "
+              "community application.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "core/classification_service.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace xdmodml::core {
+
+ClassificationService::ClassificationService(
+    std::shared_ptr<const JobClassifier> classifier, double threshold)
+    : classifier_(std::move(classifier)), threshold_(threshold) {
+  XDMODML_CHECK(classifier_ != nullptr && classifier_->trained(),
+                "service requires a trained classifier");
+  XDMODML_CHECK(threshold >= 0.0 && threshold <= 1.0,
+                "threshold must be in [0, 1]");
+}
+
+ClassificationService::IngestResult ClassificationService::ingest(
+    supremm::JobSummary job) {
+  IngestResult result;
+  if (job.label_source == supremm::LabelSource::kIdentified) {
+    result.outcome = Outcome::kIdentified;
+    ++stats_.identified;
+  } else {
+    result.prediction = classifier_->predict(job);
+    if (result.prediction.probability >= threshold_) {
+      result.outcome = Outcome::kAttributed;
+      ++stats_.attributed;
+      // Store the attribution so warehouse breakdowns include it; the
+      // label_source still says where the label came from.
+      job.application = result.prediction.class_name;
+      const double cpu_hours = job.wall_seconds / 3600.0 * job.nodes *
+                               job.cores_per_node;
+      attributed_cpu_hours_[result.prediction.class_name] += cpu_hours;
+    } else {
+      result.outcome = Outcome::kUnresolved;
+      ++stats_.unresolved;
+    }
+  }
+  warehouse_.ingest(std::move(job));
+  return result;
+}
+
+std::string ClassificationService::report() const {
+  std::ostringstream os;
+  os << "classification service: " << stats_.total() << " jobs ingested ("
+     << stats_.identified << " identified, " << stats_.attributed
+     << " attributed at p >= " << threshold_ << ", " << stats_.unresolved
+     << " unresolved)\n";
+  if (!attributed_cpu_hours_.empty()) {
+    TextTable table({"attributed application", "CPU hours"});
+    for (const auto& [app, hours] : attributed_cpu_hours_) {
+      table.add_row({app, format_double(hours, 1)});
+    }
+    os << table.render();
+  }
+  return os.str();
+}
+
+}  // namespace xdmodml::core

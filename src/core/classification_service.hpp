@@ -1,0 +1,75 @@
+// The production service the paper's §IV announces ("we do plan to
+// develop the machine learning technology that was explored in this work
+// into production tools for use in XDMoD"): a streaming ingest path that
+// stores every job in the warehouse and, for jobs Lariat could not
+// identify, attributes an application label when the classifier clears a
+// probability threshold.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/job_classifier.hpp"
+#include "xdmod/warehouse.hpp"
+
+namespace xdmodml::core {
+
+/// Streaming classify-and-ingest service.
+class ClassificationService {
+ public:
+  /// Shares a *trained* classifier (several services / threads may use
+  /// the same immutable model).  `threshold` is the minimum top-class
+  /// probability for attributing unidentified jobs.
+  ClassificationService(std::shared_ptr<const JobClassifier> classifier,
+                        double threshold = 0.9);
+
+  /// Outcome of ingesting one job.
+  enum class Outcome {
+    kIdentified,   ///< Lariat already knew the application
+    kAttributed,   ///< classifier assigned a label above threshold
+    kUnresolved,   ///< unidentified and below threshold
+  };
+  struct IngestResult {
+    Outcome outcome = Outcome::kUnresolved;
+    LabeledPrediction prediction;  ///< filled for non-identified jobs
+  };
+
+  /// Classifies (when needed) and stores the job.  Attributed jobs are
+  /// stored with the predicted application so downstream warehouse
+  /// queries see it; their Lariat label_source is preserved.
+  IngestResult ingest(supremm::JobSummary job);
+
+  const xdmod::Warehouse& warehouse() const { return warehouse_; }
+  const JobClassifier& classifier() const { return *classifier_; }
+  double threshold() const { return threshold_; }
+
+  /// Running tallies.
+  struct Stats {
+    std::size_t identified = 0;
+    std::size_t attributed = 0;
+    std::size_t unresolved = 0;
+    std::size_t total() const {
+      return identified + attributed + unresolved;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// CPU hours attributed by the classifier, per application.
+  const std::map<std::string, double>& attributed_cpu_hours() const {
+    return attributed_cpu_hours_;
+  }
+
+  /// Human-readable summary of the service state.
+  std::string report() const;
+
+ private:
+  std::shared_ptr<const JobClassifier> classifier_;
+  double threshold_;
+  xdmod::Warehouse warehouse_;
+  Stats stats_;
+  std::map<std::string, double> attributed_cpu_hours_;
+};
+
+}  // namespace xdmodml::core

@@ -1,0 +1,118 @@
+#include "core/resource_predictor.hpp"
+
+#include <cmath>
+
+#include "ml/metrics.hpp"
+#include "util/error.hpp"
+
+namespace xdmodml::core {
+
+const char* resource_target_name(ResourceTarget target) {
+  switch (target) {
+    case ResourceTarget::kMemoryGb:
+      return "memory used (GB/node)";
+    case ResourceTarget::kAvgCpuUser:
+      return "CPU user fraction";
+    case ResourceTarget::kWallHours:
+      return "wall hours";
+  }
+  return "?";
+}
+
+ResourcePredictor::ResourcePredictor(ml::ForestConfig forest,
+                                     std::uint64_t seed)
+    : forest_config_(forest), seed_(seed), forest_(forest, seed) {}
+
+double ResourcePredictor::target_of(const supremm::JobSummary& job,
+                                    ResourceTarget target) {
+  switch (target) {
+    case ResourceTarget::kMemoryGb:
+      return job.mean_of(supremm::MetricId::kMemUsed);
+    case ResourceTarget::kAvgCpuUser:
+      return job.mean_of(supremm::MetricId::kCpuUser);
+    case ResourceTarget::kWallHours:
+      // Log-space target: wall times are heavy-tailed log-normals.
+      return std::log1p(job.wall_seconds / 3600.0);
+  }
+  return 0.0;
+}
+
+std::vector<double> ResourcePredictor::feature_row(
+    const supremm::JobSummary& job) const {
+  // Submit-time information only: which application, how many nodes,
+  // what hardware.  No performance counters.
+  std::vector<double> row(applications_.size() + 3, 0.0);
+  const auto code = applications_.lookup(job.application);
+  if (code.has_value()) {
+    row[static_cast<std::size_t>(*code)] = 1.0;
+  }
+  row[applications_.size()] = static_cast<double>(job.nodes);
+  row[applications_.size() + 1] =
+      std::log1p(static_cast<double>(job.nodes));
+  row[applications_.size() + 2] =
+      static_cast<double>(job.cores_per_node);
+  return row;
+}
+
+void ResourcePredictor::train(std::span<const supremm::JobSummary> jobs,
+                              ResourceTarget target) {
+  target_ = target;
+  applications_ = ml::LabelEncoder();
+  std::vector<const supremm::JobSummary*> usable;
+  for (const auto& job : jobs) {
+    if (job.label_source != supremm::LabelSource::kIdentified) continue;
+    applications_.encode(job.application);
+    usable.push_back(&job);
+  }
+  XDMODML_CHECK(usable.size() >= 10,
+                "resource predictor needs >= 10 identified jobs");
+
+  Matrix X;
+  std::vector<double> y;
+  y.reserve(usable.size());
+  for (const auto* job : usable) {
+    X.append_row(feature_row(*job));
+    y.push_back(target_of(*job, target));
+  }
+  forest_ = ml::RandomForestRegressor(forest_config_, seed_);
+  forest_.fit(X, y);
+  trained_ = true;
+}
+
+double ResourcePredictor::predict(const supremm::JobSummary& job) const {
+  XDMODML_CHECK(trained_, "predict before train");
+  const double raw = forest_.predict(feature_row(job));
+  if (target_ == ResourceTarget::kWallHours) return std::expm1(raw);
+  return raw;
+}
+
+ResourcePredictor::Evaluation ResourcePredictor::evaluate(
+    std::span<const supremm::JobSummary> jobs) const {
+  XDMODML_CHECK(trained_, "evaluate before train");
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  for (const auto& job : jobs) {
+    if (job.label_source != supremm::LabelSource::kIdentified) continue;
+    actual.push_back(target_of(job, target_));
+    predicted.push_back(forest_.predict(feature_row(job)));
+  }
+  XDMODML_CHECK(!actual.empty(), "no identified jobs to evaluate");
+  Evaluation eval;
+  eval.r_squared = ml::r_squared(actual, predicted);
+  eval.mae = ml::mean_absolute_error(actual, predicted);
+  eval.jobs_evaluated = actual.size();
+  return eval;
+}
+
+std::vector<std::string> ResourcePredictor::feature_names() const {
+  std::vector<std::string> names;
+  for (const auto& app : applications_.names()) {
+    names.push_back("is_" + app);
+  }
+  names.push_back("nodes");
+  names.push_back("log_nodes");
+  names.push_back("cores_per_node");
+  return names;
+}
+
+}  // namespace xdmodml::core

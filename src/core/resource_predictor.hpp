@@ -1,0 +1,76 @@
+// Job resource-consumption prediction.
+//
+// The paper closes with "such machine learning techniques can be applied
+// to perform a multivariate regression analyses on job data sets", and
+// cites Evalix [18] — classification and *prediction of job resource
+// consumption*.  This module trains a random-forest regressor to predict
+// a job's resource consumption from the information available at submit
+// time only (application identity and job geometry), which is what a
+// scheduler or advisor could actually use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/random_forest.hpp"
+#include "supremm/job_summary.hpp"
+
+namespace xdmodml::core {
+
+/// What to predict.
+enum class ResourceTarget {
+  kMemoryGb,    ///< mean memory used per node (GB)
+  kAvgCpuUser,  ///< mean CPU user fraction
+  kWallHours,   ///< wall time (hours) — regressed in log space (the
+                ///< standard treatment for heavy-tailed durations);
+                ///< predictions are returned in hours, evaluation R²/MAE
+                ///< are reported on the log1p scale
+};
+
+const char* resource_target_name(ResourceTarget target);
+
+/// Submit-time regressor: application one-hot + job geometry → target.
+class ResourcePredictor {
+ public:
+  explicit ResourcePredictor(ml::ForestConfig forest = {},
+                             std::uint64_t seed = 17);
+
+  /// Trains on identified jobs (unidentified jobs are skipped — their
+  /// application one-hot would be empty).
+  void train(std::span<const supremm::JobSummary> jobs,
+             ResourceTarget target);
+
+  bool trained() const { return trained_; }
+  ResourceTarget target() const { return target_; }
+
+  /// Predicts from the job's submit-time fields only.
+  double predict(const supremm::JobSummary& job) const;
+
+  /// R² / MAE over a labeled evaluation pool (identified jobs only).
+  struct Evaluation {
+    double r_squared = 0.0;
+    double mae = 0.0;
+    std::size_t jobs_evaluated = 0;
+  };
+  Evaluation evaluate(std::span<const supremm::JobSummary> jobs) const;
+
+  /// The submit-time feature names, for inspection.
+  std::vector<std::string> feature_names() const;
+
+ private:
+  std::vector<double> feature_row(const supremm::JobSummary& job) const;
+  static double target_of(const supremm::JobSummary& job,
+                          ResourceTarget target);
+
+  ml::ForestConfig forest_config_;
+  std::uint64_t seed_;
+  ResourceTarget target_ = ResourceTarget::kMemoryGb;
+  ml::LabelEncoder applications_;
+  ml::RandomForestRegressor forest_;
+  bool trained_ = false;
+};
+
+}  // namespace xdmodml::core

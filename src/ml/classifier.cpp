@@ -1,0 +1,45 @@
+#include "ml/classifier.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace xdmodml::ml {
+
+int Classifier::predict(std::span<const double> x) const {
+  const auto proba = predict_proba(x);
+  XDMODML_CHECK(!proba.empty(), "predict_proba returned no classes");
+  const auto it = std::max_element(proba.begin(), proba.end());
+  return static_cast<int>(it - proba.begin());
+}
+
+Prediction Classifier::predict_with_probability(
+    std::span<const double> x) const {
+  const auto proba = predict_proba(x);
+  XDMODML_CHECK(!proba.empty(), "predict_proba returned no classes");
+  const auto it = std::max_element(proba.begin(), proba.end());
+  return {static_cast<int>(it - proba.begin()), *it};
+}
+
+std::vector<int> Classifier::predict_batch(const Matrix& X) const {
+  std::vector<int> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) out[r] = predict(X.row(r));
+  return out;
+}
+
+std::vector<Prediction> Classifier::predict_batch_with_probability(
+    const Matrix& X) const {
+  std::vector<Prediction> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    out[r] = predict_with_probability(X.row(r));
+  }
+  return out;
+}
+
+std::vector<double> Regressor::predict_batch(const Matrix& X) const {
+  std::vector<double> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) out[r] = predict(X.row(r));
+  return out;
+}
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,64 @@
+// Abstract classifier / regressor interfaces.
+//
+// All models in this library share the same contract: `fit` on a feature
+// matrix plus targets, then `predict_proba` row-by-row.  `predict` defaults
+// to the argmax of `predict_proba`, which keeps probability-threshold
+// analyses (Figures 1–4 of the paper) uniform across SVM, random forest and
+// naive Bayes.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace xdmodml::ml {
+
+/// A classification result with calibrated-ish class probabilities.
+struct Prediction {
+  int label = -1;          ///< argmax class
+  double probability = 0;  ///< probability of the argmax class
+};
+
+/// Interface for multiclass probabilistic classifiers.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on rows of X with labels in [0, num_classes).
+  virtual void fit(const Matrix& X, std::span<const int> y,
+                   int num_classes) = 0;
+
+  /// Per-class probabilities for one feature row (sums to 1).
+  virtual std::vector<double> predict_proba(
+      std::span<const double> x) const = 0;
+
+  /// Argmax class for one feature row.
+  virtual int predict(std::span<const double> x) const;
+
+  /// Predicted class + its probability.  Default: argmax of
+  /// predict_proba.  Models whose label rule is not the probability
+  /// argmax (the one-vs-one SVM votes, as in LIBSVM) override this so
+  /// the label always matches predict().
+  virtual Prediction predict_with_probability(
+      std::span<const double> x) const;
+
+  /// Convenience batch predictions.
+  std::vector<int> predict_batch(const Matrix& X) const;
+  std::vector<Prediction> predict_batch_with_probability(
+      const Matrix& X) const;
+
+  virtual int num_classes() const = 0;
+};
+
+/// Interface for regressors (used by the app-kernel wall-time study).
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  virtual void fit(const Matrix& X, std::span<const double> y) = 0;
+  virtual double predict(std::span<const double> x) const = 0;
+  std::vector<double> predict_batch(const Matrix& X) const;
+};
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,99 @@
+#include "ml/cross_validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/metrics.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xdmodml::ml {
+
+std::vector<std::size_t> stratified_folds(std::span<const int> labels,
+                                          std::size_t folds, Rng& rng) {
+  XDMODML_CHECK(folds >= 2, "need at least two folds");
+  XDMODML_CHECK(!labels.empty(), "need labels");
+  int max_label = 0;
+  for (const int y : labels) max_label = std::max(max_label, y);
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(max_label) + 1);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+  std::vector<std::size_t> fold_of(labels.size(), 0);
+  for (auto& rows : by_class) {
+    rng.shuffle(rows);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      fold_of[rows[i]] = i % folds;
+    }
+  }
+  return fold_of;
+}
+
+CvResult cross_validate(const Dataset& ds, const ClassifierFactory& factory,
+                        std::size_t folds, std::uint64_t seed) {
+  ds.validate();
+  XDMODML_CHECK(!ds.labels.empty(), "CV requires a labeled dataset");
+  XDMODML_CHECK(static_cast<bool>(factory), "CV requires a factory");
+  Rng rng(seed);
+  const auto fold_of = stratified_folds(ds.labels, folds, rng);
+
+  CvResult result;
+  RunningStats stats;
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      (fold_of[i] == f ? test_rows : train_rows).push_back(i);
+    }
+    XDMODML_CHECK(!train_rows.empty() && !test_rows.empty(),
+                  "fold without train or test rows — too many folds");
+    const auto train = ds.subset(train_rows);
+    const auto test = ds.subset(test_rows);
+
+    Standardizer standardizer;
+    const auto x_train = standardizer.fit_transform(train.X);
+    auto model = factory();
+    model->fit(x_train, train.labels, static_cast<int>(ds.num_classes()));
+    const auto x_test = standardizer.transform(test.X);
+    const auto predictions = model->predict_batch(x_test);
+    const double acc = accuracy(test.labels, predictions);
+    result.fold_accuracies.push_back(acc);
+    stats.add(acc);
+  }
+  result.mean_accuracy = stats.mean();
+  result.stddev_accuracy = stats.stddev();
+  return result;
+}
+
+std::vector<GridPoint> svm_grid_search(const Dataset& ds,
+                                       std::span<const double> gammas,
+                                       std::span<const double> cs,
+                                       std::size_t folds,
+                                       std::uint64_t seed) {
+  XDMODML_CHECK(!gammas.empty() && !cs.empty(),
+                "grid search requires candidate values");
+  std::vector<GridPoint> points;
+  for (const double gamma : gammas) {
+    for (const double c : cs) {
+      SvmConfig config;
+      config.kernel = Kernel::rbf(gamma);
+      config.c = c;
+      config.probability = false;  // accuracy-only tuning, much faster
+      const auto result = cross_validate(
+          ds,
+          [&config, seed] {
+            return std::make_unique<SvmClassifier>(config, seed);
+          },
+          folds, seed);
+      points.push_back({gamma, c, result.mean_accuracy});
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const GridPoint& a, const GridPoint& b) {
+              return a.cv_accuracy > b.cv_accuracy;
+            });
+  return points;
+}
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,56 @@
+// K-fold cross-validation and hyper-parameter grid search.
+//
+// The paper states its SVM was "tuned with γ = 0.1 and C = 1000"; this
+// module provides the tuning machinery: stratified k-fold CV over any
+// classifier factory, and a (γ, C) grid search for the RBF SVM.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+#include "ml/svm.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml::ml {
+
+/// Builds a fresh, untrained classifier (one per fold).
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// Stratified fold assignment: fold_of[i] in [0, folds) with per-class
+/// round-robin so every fold sees every class.
+std::vector<std::size_t> stratified_folds(std::span<const int> labels,
+                                          std::size_t folds, Rng& rng);
+
+/// Result of a cross-validation run.
+struct CvResult {
+  std::vector<double> fold_accuracies;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+};
+
+/// Runs stratified k-fold CV of `factory`'s classifier on the dataset.
+/// Features are standardized per fold (fit on the training side only).
+CvResult cross_validate(const Dataset& ds, const ClassifierFactory& factory,
+                        std::size_t folds, std::uint64_t seed = 1);
+
+/// One evaluated point of an SVM (γ, C) grid search.
+struct GridPoint {
+  double gamma = 0.0;
+  double c = 0.0;
+  double cv_accuracy = 0.0;
+};
+
+/// Grid-searches the RBF SVM over the cartesian product of `gammas` and
+/// `cs` with `folds`-fold CV; returns all points, best first.
+std::vector<GridPoint> svm_grid_search(const Dataset& ds,
+                                       std::span<const double> gammas,
+                                       std::span<const double> cs,
+                                       std::size_t folds = 3,
+                                       std::uint64_t seed = 1);
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,111 @@
+// Labeled dataset container and preprocessing utilities.
+//
+// A `Dataset` couples a feature matrix with integer class labels, feature
+// names and class names.  The helpers implement the sampling protocols the
+// paper uses: class-balanced training mixtures, native-mix test sets, and
+// stratified train/test splits, plus z-score standardization (required for
+// the RBF SVM with the paper's γ = 0.1 to be meaningful).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml::ml {
+
+/// Feature matrix + labels + names.  Labels are dense ints in
+/// [0, num_classes).  For regression tasks, use `targets` instead of
+/// `labels` (exactly one of the two is populated).
+struct Dataset {
+  Matrix X;
+  std::vector<int> labels;        // classification targets
+  std::vector<double> targets;    // regression targets
+  std::vector<std::string> feature_names;
+  std::vector<std::string> class_names;
+
+  std::size_t size() const { return X.rows(); }
+  std::size_t num_features() const { return X.cols(); }
+  std::size_t num_classes() const { return class_names.size(); }
+
+  /// Throws InvalidArgument unless shapes/labels are consistent.
+  void validate() const;
+
+  /// Returns the subset at the given row indices (labels/targets follow).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Returns a copy restricted to the given feature columns.
+  Dataset select_features(std::span<const std::size_t> feature_indices) const;
+
+  /// Per-class row counts (classification only).
+  std::vector<std::size_t> class_counts() const;
+};
+
+/// Train/test split result (indices into the original dataset).
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified split: each class contributes ~train_fraction of its rows to
+/// the train side.  Shuffles within class using `rng`.
+SplitIndices stratified_split(const Dataset& ds, double train_fraction,
+                              Rng& rng);
+
+/// Class-balanced sample of up to `per_class` rows from each class
+/// (sampling *without* replacement; classes with fewer rows contribute all
+/// of them).  This mirrors the paper's "application-balanced mixture".
+std::vector<std::size_t> balanced_sample(const Dataset& ds,
+                                         std::size_t per_class, Rng& rng);
+
+/// Uniform random sample of `n` distinct rows (native mix preserved).
+std::vector<std::size_t> random_sample(std::size_t dataset_size,
+                                       std::size_t n, Rng& rng);
+
+/// Z-score standardizer fit on training data, applied everywhere else.
+/// Constant features get scale 1 so they map to 0 rather than NaN.
+class Standardizer {
+ public:
+  /// Learns per-column mean and standard deviation.
+  void fit(const Matrix& X);
+
+  /// Applies (x - mean) / sd column-wise.  Requires fit() first.
+  Matrix transform(const Matrix& X) const;
+
+  /// Applies to a single row in place.
+  void transform_row(std::span<double> row) const;
+
+  Matrix fit_transform(const Matrix& X);
+
+  bool fitted() const { return !means_.empty(); }
+  std::span<const double> means() const { return means_; }
+  std::span<const double> scales() const { return scales_; }
+
+  /// Serialization (see ml/model_io.hpp for the format).
+  void save(std::ostream& out) const;
+  static Standardizer load(std::istream& in);
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+/// Maps arbitrary string labels to dense int codes (insertion order).
+class LabelEncoder {
+ public:
+  int encode(const std::string& label);                 // inserts if new
+  std::optional<int> lookup(const std::string& label) const;
+  const std::string& decode(int code) const;
+  std::size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,364 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/model_io.hpp"
+#include "util/error.hpp"
+
+namespace xdmodml::ml::detail {
+
+namespace {
+
+/// Gini impurity of a class-count vector with `total` samples.
+double gini(std::span<const std::size_t> counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const auto c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+struct TreeEngine::BuildContext {
+  const Matrix* X = nullptr;
+  std::span<const int> y_class;
+  std::span<const double> y_value;
+  std::vector<std::size_t> samples;  // reordered in place during the build
+  Rng* rng = nullptr;
+  // Scratch buffers reused across nodes.
+  std::vector<std::size_t> feature_pool;
+  std::vector<std::pair<double, std::size_t>> sorted;  // (value, sample idx)
+};
+
+void TreeEngine::fit(const Matrix& X, std::span<const int> y_class,
+                     std::span<const double> y_value, int num_classes,
+                     std::span<const std::size_t> sample_indices, Rng& rng) {
+  XDMODML_CHECK(!sample_indices.empty(), "tree fit requires samples");
+  if (task_ == Task::kClassification) {
+    XDMODML_CHECK(num_classes > 0, "classification requires num_classes");
+    XDMODML_CHECK(y_class.size() == X.rows(), "labels must match rows");
+  } else {
+    XDMODML_CHECK(y_value.size() == X.rows(), "targets must match rows");
+  }
+  num_classes_ = num_classes;
+  num_features_ = X.cols();
+  nodes_.clear();
+  impurity_importance_.assign(num_features_, 0.0);
+
+  BuildContext ctx;
+  ctx.X = &X;
+  ctx.y_class = y_class;
+  ctx.y_value = y_value;
+  ctx.samples.assign(sample_indices.begin(), sample_indices.end());
+  ctx.rng = &rng;
+  ctx.feature_pool.resize(num_features_);
+  std::iota(ctx.feature_pool.begin(), ctx.feature_pool.end(), 0);
+
+  build_node(ctx, 0, ctx.samples.size(), 0);
+}
+
+std::size_t TreeEngine::build_node(BuildContext& ctx, std::size_t begin,
+                                   std::size_t end, std::size_t depth_now) {
+  const Matrix& X = *ctx.X;
+  const std::size_t n = end - begin;
+  const std::size_t node_index = nodes_.size();
+  nodes_.emplace_back();
+
+  // Node statistics.
+  std::vector<std::size_t> counts;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  if (task_ == Task::kClassification) {
+    counts.assign(static_cast<std::size_t>(num_classes_), 0);
+    for (std::size_t i = begin; i < end; ++i) {
+      ++counts[static_cast<std::size_t>(ctx.y_class[ctx.samples[i]])];
+    }
+  } else {
+    for (std::size_t i = begin; i < end; ++i) {
+      const double v = ctx.y_value[ctx.samples[i]];
+      sum += v;
+      sum_sq += v * v;
+    }
+  }
+  const double node_impurity =
+      task_ == Task::kClassification
+          ? gini(counts, n)
+          : std::max(0.0, sum_sq / static_cast<double>(n) -
+                              (sum / static_cast<double>(n)) *
+                                  (sum / static_cast<double>(n)));
+
+  auto make_leaf = [&]() {
+    TreeNode& leaf = nodes_[node_index];
+    leaf.feature = -1;
+    if (task_ == Task::kClassification) {
+      leaf.class_probs.resize(counts.size());
+      for (std::size_t c = 0; c < counts.size(); ++c) {
+        leaf.class_probs[c] =
+            static_cast<double>(counts[c]) / static_cast<double>(n);
+      }
+    } else {
+      leaf.value = sum / static_cast<double>(n);
+    }
+    return node_index;
+  };
+
+  const bool pure =
+      task_ == Task::kClassification
+          ? std::count_if(counts.begin(), counts.end(),
+                          [](std::size_t c) { return c > 0; }) <= 1
+          : node_impurity <= 1e-12;
+  if (pure || n < config_.min_samples_split ||
+      (config_.max_depth != 0 && depth_now >= config_.max_depth)) {
+    return make_leaf();
+  }
+
+  // Feature subset for this split.  Features that are constant within
+  // the node do not count against the mtry budget (the scikit-learn
+  // convention): the lazy Fisher–Yates below keeps drawing fresh features
+  // until mtry *splittable* candidates have been scored or the pool is
+  // exhausted.  Without this, one-hot-heavy feature spaces starve small
+  // mtry values of usable candidates.
+  const std::size_t mtry =
+      config_.max_features == 0
+          ? num_features_
+          : std::min(config_.max_features, num_features_);
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = config_.min_impurity_decrease;
+  std::size_t evaluated = 0;
+  for (std::size_t fi = 0; fi < num_features_ && evaluated < mtry; ++fi) {
+    // Lazy partial shuffle: position fi gets a uniform draw from the
+    // remaining pool.
+    const std::size_t j =
+        fi + static_cast<std::size_t>(ctx.rng->uniform_index(
+                 static_cast<std::uint64_t>(num_features_ - fi)));
+    std::swap(ctx.feature_pool[fi], ctx.feature_pool[j]);
+    const std::size_t f = ctx.feature_pool[fi];
+    auto& sorted = ctx.sorted;
+    sorted.clear();
+    sorted.reserve(n);
+    for (std::size_t i = begin; i < end; ++i) {
+      sorted.emplace_back(X(ctx.samples[i], f), ctx.samples[i]);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+    ++evaluated;
+
+    if (task_ == Task::kClassification) {
+      std::vector<std::size_t> left_counts(counts.size(), 0);
+      std::vector<std::size_t> right_counts = counts;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const auto cls =
+            static_cast<std::size_t>(ctx.y_class[sorted[i].second]);
+        ++left_counts[cls];
+        --right_counts[cls];
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        const std::size_t nl = i + 1;
+        const std::size_t nr = n - nl;
+        if (nl < config_.min_samples_leaf || nr < config_.min_samples_leaf) {
+          continue;
+        }
+        const double gain =
+            node_impurity -
+            (static_cast<double>(nl) * gini(left_counts, nl) +
+             static_cast<double>(nr) * gini(right_counts, nr)) /
+                static_cast<double>(n);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        }
+      }
+    } else {
+      double left_sum = 0.0;
+      double left_sq = 0.0;
+      double right_sum = sum;
+      double right_sq = sum_sq;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const double v = ctx.y_value[sorted[i].second];
+        left_sum += v;
+        left_sq += v * v;
+        right_sum -= v;
+        right_sq -= v * v;
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        const auto nl = static_cast<double>(i + 1);
+        const auto nr = static_cast<double>(n - i - 1);
+        if (i + 1 < config_.min_samples_leaf ||
+            n - i - 1 < config_.min_samples_leaf) {
+          continue;
+        }
+        const double var_l = std::max(0.0, left_sq / nl -
+                                               (left_sum / nl) *
+                                                   (left_sum / nl));
+        const double var_r = std::max(0.0, right_sq / nr -
+                                               (right_sum / nr) *
+                                                   (right_sum / nr));
+        const double gain = node_impurity -
+                            (nl * var_l + nr * var_r) /
+                                static_cast<double>(n);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        }
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition ctx.samples[begin, end) around the chosen split.
+  auto* mid_it = std::partition(
+      ctx.samples.data() + begin, ctx.samples.data() + end,
+      [&](std::size_t s) { return X(s, static_cast<std::size_t>(best_feature)) <= best_threshold; });
+  const auto mid = static_cast<std::size_t>(mid_it - ctx.samples.data());
+  if (mid == begin || mid == end) return make_leaf();  // numeric edge case
+
+  impurity_importance_[static_cast<std::size_t>(best_feature)] +=
+      best_gain * static_cast<double>(n);
+
+  // Fill the split node; children are built afterwards so their indices
+  // are known only post-recursion.
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  const std::size_t left_index = build_node(ctx, begin, mid, depth_now + 1);
+  const std::size_t right_index = build_node(ctx, mid, end, depth_now + 1);
+  nodes_[node_index].left = left_index;
+  nodes_[node_index].right = right_index;
+  return node_index;
+}
+
+const TreeNode& TreeEngine::descend(std::span<const double> x) const {
+  XDMODML_CHECK(trained(), "tree used before fit");
+  XDMODML_CHECK(x.size() == num_features_, "feature width mismatch");
+  std::size_t i = 0;
+  while (nodes_[i].feature >= 0) {
+    const auto f = static_cast<std::size_t>(nodes_[i].feature);
+    i = x[f] <= nodes_[i].threshold ? nodes_[i].left : nodes_[i].right;
+  }
+  return nodes_[i];
+}
+
+std::span<const double> TreeEngine::leaf_probs(
+    std::span<const double> x) const {
+  return descend(x).class_probs;
+}
+
+double TreeEngine::leaf_value(std::span<const double> x) const {
+  return descend(x).value;
+}
+
+void TreeEngine::save(std::ostream& out) const {
+  XDMODML_CHECK(trained(), "cannot save an untrained tree");
+  io::write_tag(out, "tree-v1");
+  io::write_scalar(out, "task",
+                   static_cast<std::int64_t>(
+                       task_ == Task::kClassification ? 0 : 1));
+  io::write_scalar(out, "classes",
+                   static_cast<std::int64_t>(num_classes_));
+  io::write_scalar(out, "features",
+                   static_cast<std::int64_t>(num_features_));
+  io::write_scalar(out, "nodes", static_cast<std::int64_t>(nodes_.size()));
+  for (const auto& node : nodes_) {
+    io::write_scalar(out, "f", static_cast<std::int64_t>(node.feature));
+    io::write_scalar(out, "t", node.threshold);
+    io::write_scalar(out, "l", static_cast<std::int64_t>(node.left));
+    io::write_scalar(out, "r", static_cast<std::int64_t>(node.right));
+    io::write_scalar(out, "v", node.value);
+    io::write_vector(out, "p", node.class_probs);
+  }
+  io::write_vector(out, "importance", impurity_importance_);
+}
+
+TreeEngine TreeEngine::load(std::istream& in) {
+  io::TokenReader reader(in);
+  reader.expect("tree-v1");
+  const auto task = reader.read_int("task");
+  XDMODML_CHECK(task == 0 || task == 1, "corrupt tree task");
+  TreeEngine engine(task == 0 ? Task::kClassification : Task::kRegression,
+                    TreeConfig{});
+  engine.num_classes_ = static_cast<int>(reader.read_int("classes"));
+  engine.num_features_ =
+      static_cast<std::size_t>(reader.read_int("features"));
+  const auto node_count = reader.read_int("nodes");
+  XDMODML_CHECK(node_count > 0, "corrupt tree node count");
+  engine.nodes_.resize(static_cast<std::size_t>(node_count));
+  for (auto& node : engine.nodes_) {
+    node.feature = static_cast<int>(reader.read_int("f"));
+    node.threshold = reader.read_double("t");
+    node.left = static_cast<std::size_t>(reader.read_int("l"));
+    node.right = static_cast<std::size_t>(reader.read_int("r"));
+    node.value = reader.read_double("v");
+    node.class_probs = reader.read_vector("p");
+    XDMODML_CHECK(node.feature < static_cast<int>(engine.num_features_),
+                  "corrupt tree feature index");
+    XDMODML_CHECK(node.left < engine.nodes_.size() &&
+                      node.right < engine.nodes_.size(),
+                  "corrupt tree child index");
+  }
+  engine.impurity_importance_ = reader.read_vector("importance");
+  return engine;
+}
+
+std::size_t TreeEngine::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the node vector.
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    if (nodes_[idx].feature >= 0) {
+      stack.emplace_back(nodes_[idx].left, d + 1);
+      stack.emplace_back(nodes_[idx].right, d + 1);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace xdmodml::ml::detail
+
+namespace xdmodml::ml {
+
+DecisionTreeClassifier::DecisionTreeClassifier(TreeConfig config,
+                                               std::uint64_t seed)
+    : engine_(detail::TreeEngine::Task::kClassification, config),
+      rng_(seed) {}
+
+void DecisionTreeClassifier::fit(const Matrix& X, std::span<const int> y,
+                                 int num_classes) {
+  num_classes_ = num_classes;
+  std::vector<std::size_t> all(X.rows());
+  std::iota(all.begin(), all.end(), 0);
+  engine_.fit(X, y, {}, num_classes, all, rng_);
+}
+
+std::vector<double> DecisionTreeClassifier::predict_proba(
+    std::span<const double> x) const {
+  const auto probs = engine_.leaf_probs(x);
+  return {probs.begin(), probs.end()};
+}
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeConfig config,
+                                             std::uint64_t seed)
+    : engine_(detail::TreeEngine::Task::kRegression, config), rng_(seed) {}
+
+void DecisionTreeRegressor::fit(const Matrix& X, std::span<const double> y) {
+  std::vector<std::size_t> all(X.rows());
+  std::iota(all.begin(), all.end(), 0);
+  engine_.fit(X, {}, y, 0, all, rng_);
+}
+
+double DecisionTreeRegressor::predict(std::span<const double> x) const {
+  return engine_.leaf_value(x);
+}
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,100 @@
+#include "ml/feature_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xdmodml::ml {
+
+Matrix correlation_matrix(const Matrix& X) {
+  XDMODML_CHECK(X.rows() >= 2, "correlation requires >= 2 rows");
+  const std::size_t d = X.cols();
+  // Column means and stddevs.
+  std::vector<double> mean(d, 0.0);
+  std::vector<double> sd(d, 0.0);
+  for (std::size_t c = 0; c < d; ++c) {
+    RunningStats rs;
+    for (std::size_t r = 0; r < X.rows(); ++r) rs.add(X(r, c));
+    mean[c] = rs.mean();
+    sd[c] = rs.stddev();
+  }
+  Matrix corr(d, d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) corr(i, i) = 1.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      if (sd[i] == 0.0 || sd[j] == 0.0) continue;  // constant column
+      double s = 0.0;
+      for (std::size_t r = 0; r < X.rows(); ++r) {
+        s += (X(r, i) - mean[i]) * (X(r, j) - mean[j]);
+      }
+      const double r = s / (static_cast<double>(X.rows() - 1) * sd[i] * sd[j]);
+      corr(i, j) = r;
+      corr(j, i) = r;
+    }
+  }
+  return corr;
+}
+
+std::vector<PrunedAttribute> prune_correlated(const Matrix& X,
+                                              double threshold,
+                                              std::size_t max_drops) {
+  XDMODML_CHECK(threshold > 0.0 && threshold < 1.0,
+                "threshold must be in (0, 1)");
+  auto corr = correlation_matrix(X);
+  const std::size_t d = corr.rows();
+  std::vector<bool> alive(d, true);
+  std::vector<PrunedAttribute> pruned;
+
+  auto mean_abs_corr = [&](std::size_t i) {
+    double s = 0.0;
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (j == i || !alive[j]) continue;
+      s += std::abs(corr(i, j));
+      ++count;
+    }
+    return count == 0 ? 0.0 : s / static_cast<double>(count);
+  };
+
+  while (pruned.size() < max_drops) {
+    double best = threshold;
+    std::size_t bi = d;
+    std::size_t bj = d;
+    for (std::size_t i = 0; i < d; ++i) {
+      if (!alive[i]) continue;
+      for (std::size_t j = i + 1; j < d; ++j) {
+        if (!alive[j]) continue;
+        if (std::abs(corr(i, j)) > best) {
+          best = std::abs(corr(i, j));
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (bi == d) break;  // no pair above threshold
+    // Drop the member more entangled with the rest of the attributes.
+    const std::size_t drop = mean_abs_corr(bi) >= mean_abs_corr(bj) ? bi : bj;
+    const std::size_t keep = drop == bi ? bj : bi;
+    alive[drop] = false;
+    pruned.push_back({drop, keep, best});
+  }
+  return pruned;
+}
+
+std::vector<std::size_t> surviving_columns(
+    std::size_t num_columns, const std::vector<PrunedAttribute>& pruned) {
+  std::vector<bool> alive(num_columns, true);
+  for (const auto& p : pruned) {
+    XDMODML_CHECK(p.dropped < num_columns, "pruned index out of range");
+    alive[p.dropped] = false;
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < num_columns; ++i) {
+    if (alive[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace xdmodml::ml

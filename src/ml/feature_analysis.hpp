@@ -1,0 +1,42 @@
+// Attribute correlation analysis.
+//
+// The paper removes "five highly correlated attributes such as the
+// number of file device IOPs and read/write rates" before the Figure 6
+// sweep, and warns that permutation importance understates correlated
+// mates.  This module computes the attribute correlation matrix and
+// performs the greedy pruning that produces such a removal list
+// automatically.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/matrix.hpp"
+
+namespace xdmodml::ml {
+
+/// Pearson correlation matrix of the dataset's columns.
+Matrix correlation_matrix(const Matrix& X);
+
+/// One pruned attribute and why.
+struct PrunedAttribute {
+  std::size_t dropped = 0;   ///< column index removed
+  std::size_t kept = 0;      ///< its correlated mate that stays
+  double correlation = 0.0;  ///< |r| between the two
+};
+
+/// Greedy correlation pruning: repeatedly finds the most correlated
+/// remaining pair with |r| above `threshold` and drops the member with
+/// the larger mean absolute correlation to everything else.  Stops when
+/// no pair exceeds the threshold or `max_drops` attributes were removed.
+std::vector<PrunedAttribute> prune_correlated(const Matrix& X,
+                                              double threshold = 0.95,
+                                              std::size_t max_drops = 16);
+
+/// Convenience: the surviving column indices after pruning.
+std::vector<std::size_t> surviving_columns(std::size_t num_columns,
+                                           const std::vector<PrunedAttribute>& pruned);
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,65 @@
+#include "ml/kernel.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xdmodml::ml {
+
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) {
+  XDMODML_CHECK(a.size() == b.size(), "kernel operand size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  XDMODML_CHECK(a.size() == b.size(), "kernel operand size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Kernel::operator()(std::span<const double> a,
+                          std::span<const double> b) const {
+  switch (type) {
+    case Type::kLinear:
+      return dot(a, b);
+    case Type::kRbf:
+      return std::exp(-gamma * squared_distance(a, b));
+    case Type::kPolynomial:
+      return std::pow(gamma * dot(a, b) + coef0, degree);
+  }
+  return 0.0;  // unreachable
+}
+
+Kernel Kernel::linear() { return Kernel{Type::kLinear, 0.0, 0.0, 0.0}; }
+
+Kernel Kernel::rbf(double gamma) {
+  XDMODML_CHECK(gamma > 0.0, "RBF gamma must be positive");
+  return Kernel{Type::kRbf, gamma, 0.0, 0.0};
+}
+
+Kernel Kernel::polynomial(double degree, double gamma, double coef0) {
+  XDMODML_CHECK(degree > 0.0 && gamma > 0.0,
+                "polynomial kernel requires positive degree and gamma");
+  return Kernel{Type::kPolynomial, gamma, degree, coef0};
+}
+
+std::string Kernel::name() const {
+  switch (type) {
+    case Type::kLinear:
+      return "linear";
+    case Type::kRbf:
+      return "rbf";
+    case Type::kPolynomial:
+      return "polynomial";
+  }
+  return "?";
+}
+
+}  // namespace xdmodml::ml

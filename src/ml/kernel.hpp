@@ -1,0 +1,39 @@
+// Kernel functions for the SVM family.
+//
+// The paper uses the radial basis kernel with γ = 0.1 and C = 1000 (the
+// e1071 defaults it quotes); linear and polynomial kernels are provided
+// for completeness and for the test suite's sanity checks.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace xdmodml::ml {
+
+/// Kernel family selector + parameters.
+struct Kernel {
+  enum class Type { kLinear, kRbf, kPolynomial };
+
+  Type type = Type::kRbf;
+  double gamma = 0.1;   ///< RBF / polynomial scale
+  double degree = 3.0;  ///< polynomial degree
+  double coef0 = 0.0;   ///< polynomial offset
+
+  /// k(a, b); spans must have equal length.
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const;
+
+  static Kernel linear();
+  static Kernel rbf(double gamma);
+  static Kernel polynomial(double degree, double gamma, double coef0);
+
+  std::string name() const;
+};
+
+/// Squared Euclidean distance (RBF helper, exposed for tests).
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+/// Dot product.
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,196 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "ml/kernel.hpp"  // squared_distance
+#include "util/error.hpp"
+
+namespace xdmodml::ml {
+
+namespace {
+
+/// One k-means++ initialization + Lloyd run.
+KMeansResult run_once(const Matrix& X, const KMeansConfig& config,
+                      Rng& rng) {
+  const std::size_t n = X.rows();
+  const std::size_t k = config.clusters;
+  const std::size_t d = X.cols();
+
+  // k-means++ seeding.
+  Matrix centroids(k, d);
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  {
+    const auto first = static_cast<std::size_t>(rng.uniform_index(n));
+    std::copy(X.row(first).begin(), X.row(first).end(),
+              centroids.row(0).begin());
+  }
+  for (std::size_t c = 1; c < k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dist2[i] = std::min(dist2[i],
+                          squared_distance(X.row(i), centroids.row(c - 1)));
+    }
+    double total = 0.0;
+    for (const auto v : dist2) total += v;
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      chosen = rng.categorical(dist2);
+    } else {
+      chosen = static_cast<std::size_t>(rng.uniform_index(n));
+    }
+    std::copy(X.row(chosen).begin(), X.row(chosen).end(),
+              centroids.row(c).begin());
+  }
+
+  KMeansResult result;
+  result.centroids = std::move(centroids);
+  result.assignments.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 =
+            squared_distance(X.row(i), result.centroids.row(c));
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<int>(c);
+        }
+      }
+      result.assignments[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+
+    // Update step.
+    Matrix sums(k, d, 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(result.assignments[i]);
+      const auto row = X.row(i);
+      for (std::size_t j = 0; j < d; ++j) sums(c, j) += row[j];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Dead cluster: reseed at the point farthest from its centroid.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d2 = squared_distance(
+              X.row(i), result.centroids.row(
+                            static_cast<std::size_t>(result.assignments[i])));
+          if (d2 > far_d) {
+            far_d = d2;
+            far = i;
+          }
+        }
+        std::copy(X.row(far).begin(), X.row(far).end(),
+                  result.centroids.row(c).begin());
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        result.centroids(c, j) =
+            sums(c, j) / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (prev_inertia - inertia < config.tolerance * (1.0 + inertia)) break;
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& X, const KMeansConfig& config,
+                    std::uint64_t seed) {
+  XDMODML_CHECK(X.rows() >= config.clusters && config.clusters > 0,
+                "kmeans requires clusters in [1, rows]");
+  XDMODML_CHECK(config.restarts > 0, "kmeans requires >= 1 restart");
+  Rng root(seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < config.restarts; ++r) {
+    Rng run_rng = root.split();
+    auto result = run_once(X, config, run_rng);
+    if (result.inertia < best.inertia) best = std::move(result);
+  }
+  return best;
+}
+
+int nearest_centroid(const Matrix& centroids, std::span<const double> x) {
+  XDMODML_CHECK(centroids.rows() > 0, "no centroids");
+  double best = std::numeric_limits<double>::infinity();
+  int best_c = 0;
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    const double d2 = squared_distance(centroids.row(c), x);
+    if (d2 < best) {
+      best = d2;
+      best_c = static_cast<int>(c);
+    }
+  }
+  return best_c;
+}
+
+double cluster_purity(std::span<const int> assignments,
+                      std::span<const int> labels) {
+  XDMODML_CHECK(assignments.size() == labels.size() && !labels.empty(),
+                "purity requires parallel non-empty vectors");
+  std::map<int, std::map<int, std::size_t>> votes;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ++votes[assignments[i]][labels[i]];
+  }
+  std::size_t agree = 0;
+  for (const auto& [cluster, counts] : votes) {
+    std::size_t best = 0;
+    for (const auto& [label, count] : counts) best = std::max(best, count);
+    agree += best;
+  }
+  return static_cast<double>(agree) / static_cast<double>(labels.size());
+}
+
+double normalized_mutual_information(std::span<const int> a,
+                                     std::span<const int> b) {
+  XDMODML_CHECK(a.size() == b.size() && !a.empty(),
+                "NMI requires parallel non-empty vectors");
+  const auto n = static_cast<double>(a.size());
+  std::map<int, double> pa;
+  std::map<int, double> pb;
+  std::map<std::pair<int, int>, double> pab;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    pa[a[i]] += 1.0 / n;
+    pb[b[i]] += 1.0 / n;
+    pab[{a[i], b[i]}] += 1.0 / n;
+  }
+  auto entropy = [](const std::map<int, double>& p) {
+    double h = 0.0;
+    for (const auto& [key, v] : p) {
+      if (v > 0.0) h -= v * std::log(v);
+    }
+    return h;
+  };
+  double mi = 0.0;
+  for (const auto& [key, pxy] : pab) {
+    if (pxy <= 0.0) continue;
+    mi += pxy * std::log(pxy / (pa[key.first] * pb[key.second]));
+  }
+  const double ha = entropy(pa);
+  const double hb = entropy(pb);
+  // Accumulating n copies of 1/n leaves round-off crumbs; treat
+  // near-zero entropy (a constant labelling) as exactly zero.
+  constexpr double kEps = 1e-9;
+  if (ha <= kEps || hb <= kEps) {
+    return (ha <= kEps) == (hb <= kEps) ? 1.0 : 0.0;
+  }
+  return mi / std::sqrt(ha * hb);
+}
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,53 @@
+// K-means clustering with k-means++ seeding.
+//
+// §II lists "clustering" among the data-discovery techniques suited to
+// SUPReMM data, and the abstract promises help "in characterizing the
+// job mixture".  `bench_job_mixture` uses this to show that unsupervised
+// clusters of standardized job summaries align strongly with the
+// application labels — the unsupervised face of the signature claim.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml::ml {
+
+/// K-means configuration.
+struct KMeansConfig {
+  std::size_t clusters = 8;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-6;  ///< stop when inertia improves less than this
+  std::size_t restarts = 4; ///< independent runs, best inertia wins
+};
+
+/// Clustering result.
+struct KMeansResult {
+  Matrix centroids;                  ///< clusters x dims
+  std::vector<int> assignments;      ///< per input row
+  double inertia = 0.0;              ///< sum of squared distances
+  std::size_t iterations = 0;        ///< of the winning run
+};
+
+/// Runs k-means++ / Lloyd on the rows of X.
+KMeansResult kmeans(const Matrix& X, const KMeansConfig& config,
+                    std::uint64_t seed = 1);
+
+/// Assigns one row to the nearest centroid.
+int nearest_centroid(const Matrix& centroids, std::span<const double> x);
+
+/// Cluster purity against reference labels: each cluster votes for its
+/// majority label; purity = fraction of rows matching their cluster's
+/// majority.  1.0 means clusters are label-pure.
+double cluster_purity(std::span<const int> assignments,
+                      std::span<const int> labels);
+
+/// Adjusted-for-chance agreement is overkill here; the simpler
+/// normalized mutual information is provided for the mixture study.
+double normalized_mutual_information(std::span<const int> a,
+                                     std::span<const int> b);
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,229 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace xdmodml::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), counts_(num_classes * num_classes, 0) {
+  XDMODML_CHECK(num_classes > 0, "confusion matrix needs >= 1 class");
+}
+
+std::size_t ConfusionMatrix::index(int actual, int predicted) const {
+  XDMODML_CHECK(actual >= 0 && static_cast<std::size_t>(actual) < n_ &&
+                    predicted >= 0 &&
+                    static_cast<std::size_t>(predicted) < n_,
+                "confusion matrix class out of range");
+  return static_cast<std::size_t>(actual) * n_ +
+         static_cast<std::size_t>(predicted);
+}
+
+void ConfusionMatrix::add(int actual, int predicted) {
+  ++counts_[index(actual, predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int actual, int predicted) const {
+  return counts_[index(actual, predicted)];
+}
+
+std::size_t ConfusionMatrix::correct() const {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n_; ++i) c += counts_[i * n_ + i];
+  return c;
+}
+
+double ConfusionMatrix::accuracy() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(correct()) /
+                           static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  XDMODML_CHECK(cls >= 0 && c < n_, "recall class out of range");
+  std::size_t row_total = 0;
+  for (std::size_t j = 0; j < n_; ++j) row_total += counts_[c * n_ + j];
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(counts_[c * n_ + c]) /
+         static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  XDMODML_CHECK(cls >= 0 && c < n_, "precision class out of range");
+  std::size_t col_total = 0;
+  for (std::size_t i = 0; i < n_; ++i) col_total += counts_[i * n_ + c];
+  if (col_total == 0) return 0.0;
+  return static_cast<double>(counts_[c * n_ + c]) /
+         static_cast<double>(col_total);
+}
+
+std::vector<std::size_t> ConfusionMatrix::actual_totals() const {
+  std::vector<std::size_t> totals(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) totals[i] += counts_[i * n_ + j];
+  }
+  return totals;
+}
+
+std::string ConfusionMatrix::render_paper_style(
+    const std::vector<std::string>& class_names) const {
+  XDMODML_CHECK(class_names.size() == n_,
+                "class name count must match matrix size");
+  std::ostringstream os;
+  for (std::size_t i = 0; i < n_; ++i) {
+    os << class_names[i] << " (" << counts_[i * n_ + i] << ")";
+    bool first = true;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j || counts_[i * n_ + j] == 0) continue;
+      os << (first ? ": " : ", ") << class_names[j] << " ("
+         << counts_[i * n_ + j] << ")";
+      first = false;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string ConfusionMatrix::render_grid(
+    const std::vector<std::string>& class_names) const {
+  XDMODML_CHECK(class_names.size() == n_,
+                "class name count must match matrix size");
+  std::vector<std::string> header{"actual\\pred"};
+  for (const auto& name : class_names) header.push_back(name);
+  TextTable table(std::move(header));
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::vector<std::string> row{class_names[i]};
+    for (std::size_t j = 0; j < n_; ++j) {
+      row.push_back(std::to_string(counts_[i * n_ + j]));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+ConfusionMatrix build_confusion(std::span<const int> actual,
+                                std::span<const int> predicted,
+                                std::size_t num_classes) {
+  XDMODML_CHECK(actual.size() == predicted.size(),
+                "actual/predicted lengths differ");
+  ConfusionMatrix cm(num_classes);
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    cm.add(actual[i], predicted[i]);
+  }
+  return cm;
+}
+
+double accuracy(std::span<const int> actual,
+                std::span<const int> predicted) {
+  XDMODML_CHECK(actual.size() == predicted.size() && !actual.empty(),
+                "accuracy requires equal, non-empty vectors");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(actual.size());
+}
+
+std::vector<ThresholdPoint> threshold_sweep(
+    std::span<const Prediction> predictions, std::span<const int> actual,
+    std::span<const double> thresholds) {
+  XDMODML_CHECK(!predictions.empty(), "threshold_sweep requires predictions");
+  const bool labeled = !actual.empty();
+  if (labeled) {
+    XDMODML_CHECK(actual.size() == predictions.size(),
+                  "actual length must match predictions");
+  }
+  std::size_t n_correct = 0;
+  std::size_t n_incorrect = 0;
+  if (labeled) {
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+      (predictions[i].label == actual[i] ? n_correct : n_incorrect)++;
+    }
+  }
+  const auto n = static_cast<double>(predictions.size());
+  std::vector<ThresholdPoint> out;
+  out.reserve(thresholds.size());
+  for (const double t : thresholds) {
+    ThresholdPoint pt;
+    pt.threshold = t;
+    std::size_t classified = 0;
+    std::size_t classified_correct = 0;
+    std::size_t classified_incorrect = 0;
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+      if (predictions[i].probability < t) continue;
+      ++classified;
+      if (labeled) {
+        (predictions[i].label == actual[i] ? classified_correct
+                                           : classified_incorrect)++;
+      }
+    }
+    pt.classified_fraction = static_cast<double>(classified) / n;
+    if (labeled) {
+      pt.correct_fraction = static_cast<double>(classified_correct) / n;
+      pt.eq1_x = n_correct == 0 ? 0.0
+                                : static_cast<double>(classified_correct) /
+                                      static_cast<double>(n_correct);
+      pt.eq1_y = n_incorrect == 0
+                     ? 0.0
+                     : static_cast<double>(classified_incorrect) /
+                           static_cast<double>(n_incorrect);
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<double> default_threshold_grid() {
+  std::vector<double> grid;
+  for (int i = 20; i >= 1; --i) grid.push_back(0.05 * i);
+  return grid;
+}
+
+double mean_squared_error(std::span<const double> actual,
+                          std::span<const double> predicted) {
+  XDMODML_CHECK(actual.size() == predicted.size() && !actual.empty(),
+                "MSE requires equal, non-empty vectors");
+  double s = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = actual[i] - predicted[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(actual.size());
+}
+
+double mean_absolute_error(std::span<const double> actual,
+                           std::span<const double> predicted) {
+  XDMODML_CHECK(actual.size() == predicted.size() && !actual.empty(),
+                "MAE requires equal, non-empty vectors");
+  double s = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    s += std::abs(actual[i] - predicted[i]);
+  }
+  return s / static_cast<double>(actual.size());
+}
+
+double r_squared(std::span<const double> actual,
+                 std::span<const double> predicted) {
+  XDMODML_CHECK(actual.size() == predicted.size() && !actual.empty(),
+                "R^2 requires equal, non-empty vectors");
+  const double m = mean(actual);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double dr = actual[i] - predicted[i];
+    const double dt = actual[i] - m;
+    ss_res += dr * dr;
+    ss_tot += dt * dt;
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,99 @@
+// Model-quality metrics: confusion matrices, accuracy, and the paper's
+// probability-threshold analyses.
+//
+// Figure 1/3/4 of the paper plot, against a probability threshold t, the
+// fraction of jobs whose top-class probability meets t ("classified") and
+// the fraction that meet t *and* are correct ("correctly classified").
+// Figure 2 plots the ROC-like curve of Equation 1:
+//
+//   (x, y) = ( Σ(P_t ∧ C_correct) / N_correct ,
+//              Σ(P_t ∧ C_incorrect) / N_incorrect )
+//
+// where P_t marks predictions whose probability meets the threshold and
+// C_correct / C_incorrect mark correct / incorrect predictions.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace xdmodml::ml {
+
+/// Dense multiclass confusion matrix; rows = actual, cols = predicted.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(int actual, int predicted);
+
+  std::size_t num_classes() const { return n_; }
+  std::size_t count(int actual, int predicted) const;
+  std::size_t total() const { return total_; }
+  std::size_t correct() const;
+
+  double accuracy() const;
+
+  /// Recall of one class: diag / row-sum (0 when the class is absent).
+  double recall(int cls) const;
+
+  /// Precision of one class: diag / col-sum (0 when never predicted).
+  double precision(int cls) const;
+
+  /// Row sums (actual class totals).
+  std::vector<std::size_t> actual_totals() const;
+
+  /// Renders in the paper's Table 2 style: one row per class, the correct
+  /// count in parentheses, then each nonzero off-diagonal "NAME (count)".
+  std::string render_paper_style(
+      const std::vector<std::string>& class_names) const;
+
+  /// Renders a dense numeric grid.
+  std::string render_grid(const std::vector<std::string>& class_names) const;
+
+ private:
+  std::size_t index(int actual, int predicted) const;
+
+  std::size_t n_ = 0;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+/// Builds a confusion matrix from parallel actual/predicted vectors.
+ConfusionMatrix build_confusion(std::span<const int> actual,
+                                std::span<const int> predicted,
+                                std::size_t num_classes);
+
+/// Fraction of equal entries; requires equal non-zero lengths.
+double accuracy(std::span<const int> actual, std::span<const int> predicted);
+
+/// One point of a threshold-sweep analysis.
+struct ThresholdPoint {
+  double threshold = 0.0;
+  double classified_fraction = 0.0;  ///< P(top-prob >= t)
+  double correct_fraction = 0.0;     ///< P(top-prob >= t and correct)
+  double eq1_x = 0.0;  ///< Σ(P_t ∧ correct) / N_correct   (Equation 1)
+  double eq1_y = 0.0;  ///< Σ(P_t ∧ incorrect) / N_incorrect
+};
+
+/// Sweeps thresholds (descending, as in Figure 2: 1.0 down to 0.05 in
+/// steps of 0.05 by default) over predictions with probabilities.
+/// For unlabeled pools (Figures 3/4's Uncategorized/NA data), pass an
+/// empty `actual`: correct_fraction and the Eq.-1 coordinates are then 0.
+std::vector<ThresholdPoint> threshold_sweep(
+    std::span<const Prediction> predictions, std::span<const int> actual,
+    std::span<const double> thresholds);
+
+/// The paper's default grid: 1.00, 0.95, ..., 0.05.
+std::vector<double> default_threshold_grid();
+
+/// Regression metrics for the app-kernel study.
+double mean_squared_error(std::span<const double> actual,
+                          std::span<const double> predicted);
+double mean_absolute_error(std::span<const double> actual,
+                           std::span<const double> predicted);
+double r_squared(std::span<const double> actual,
+                 std::span<const double> predicted);
+
+}  // namespace xdmodml::ml

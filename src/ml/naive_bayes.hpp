@@ -1,0 +1,44 @@
+// Gaussian Naive Bayes classifier.
+//
+// Included because the paper's Section II evaluates it first and discards
+// it: "The Naïve Bayesian classifier performed very poorly on this problem,
+// which is not surprising since the a priori data distributions are not
+// normal and the metrics are known to be correlated."  The efficiency
+// bench reproduces exactly that ordering (NB ≪ SVM ≈ RF).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace xdmodml::ml {
+
+/// Gaussian NB with per-class feature means/variances and log-space
+/// posterior evaluation.  A small variance floor keeps degenerate
+/// (constant) features from producing infinities.
+class NaiveBayesClassifier final : public Classifier {
+ public:
+  /// `var_smoothing` is added to every per-class variance, scaled by the
+  /// largest feature variance (the scikit-learn convention).
+  explicit NaiveBayesClassifier(double var_smoothing = 1e-9);
+
+  void fit(const Matrix& X, std::span<const int> y, int num_classes) override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  int num_classes() const override { return num_classes_; }
+
+  /// Serialization of a trained model.
+  void save(std::ostream& out) const;
+  static NaiveBayesClassifier load(std::istream& in);
+
+ private:
+  double var_smoothing_;
+  int num_classes_ = 0;
+  std::size_t num_features_ = 0;
+  std::vector<double> log_priors_;  // [class]
+  std::vector<double> means_;       // [class * F + f]
+  std::vector<double> vars_;        // [class * F + f]
+};
+
+}  // namespace xdmodml::ml

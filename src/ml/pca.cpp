@@ -1,0 +1,105 @@
+#include "ml/pca.hpp"
+
+#include <algorithm>
+
+#include "util/eigen.hpp"
+#include "util/error.hpp"
+
+namespace xdmodml::ml {
+
+void Pca::fit(const Matrix& X, std::size_t components) {
+  XDMODML_CHECK(X.rows() >= 2, "PCA requires at least two samples");
+  const std::size_t d = X.cols();
+  components_ = components == 0 ? d : std::min(components, d);
+
+  means_.assign(d, 0.0);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto row = X.row(r);
+    for (std::size_t c = 0; c < d; ++c) means_[c] += row[c];
+  }
+  for (auto& m : means_) m /= static_cast<double>(X.rows());
+
+  // Covariance (unbiased).
+  Matrix cov(d, d, 0.0);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto row = X.row(r);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double di = row[i] - means_[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov(i, j) += di * (row[j] - means_[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(X.rows() - 1);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  }
+
+  const auto eig = eigen_symmetric(cov);
+  eigenvalues_ = eig.eigenvalues;
+  // Numerical round-off can leave tiny negative eigenvalues.
+  for (auto& w : eigenvalues_) w = std::max(0.0, w);
+
+  basis_ = Matrix(d, components_);
+  for (std::size_t c = 0; c < components_; ++c) {
+    for (std::size_t i = 0; i < d; ++i) {
+      basis_(i, c) = eig.eigenvectors(i, c);
+    }
+  }
+}
+
+double Pca::explained_variance_ratio(std::size_t k) const {
+  XDMODML_CHECK(fitted(), "PCA used before fit");
+  XDMODML_CHECK(k <= eigenvalues_.size(), "k exceeds dimension");
+  double total = 0.0;
+  for (const auto w : eigenvalues_) total += w;
+  if (total <= 0.0) return 0.0;
+  double head = 0.0;
+  for (std::size_t i = 0; i < k; ++i) head += eigenvalues_[i];
+  return head / total;
+}
+
+std::vector<double> Pca::transform_row(std::span<const double> x) const {
+  XDMODML_CHECK(fitted(), "PCA used before fit");
+  XDMODML_CHECK(x.size() == means_.size(), "PCA input width mismatch");
+  std::vector<double> z(components_, 0.0);
+  for (std::size_t c = 0; c < components_; ++c) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      s += (x[i] - means_[i]) * basis_(i, c);
+    }
+    z[c] = s;
+  }
+  return z;
+}
+
+Matrix Pca::transform(const Matrix& X) const {
+  Matrix Z(X.rows(), components_);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto z = transform_row(X.row(r));
+    std::copy(z.begin(), z.end(), Z.row(r).begin());
+  }
+  return Z;
+}
+
+Matrix Pca::inverse_transform(const Matrix& Z) const {
+  XDMODML_CHECK(fitted(), "PCA used before fit");
+  XDMODML_CHECK(Z.cols() == components_, "component width mismatch");
+  const std::size_t d = means_.size();
+  Matrix X(Z.rows(), d);
+  for (std::size_t r = 0; r < Z.rows(); ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      double s = means_[i];
+      for (std::size_t c = 0; c < components_; ++c) {
+        s += Z(r, c) * basis_(i, c);
+      }
+      X(r, i) = s;
+    }
+  }
+  return X;
+}
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,48 @@
+// Principal component analysis.
+//
+// The paper's §II lists "dimensionality reduction" among the techniques
+// suited to SUPReMM data.  This PCA centers the data (optionally after
+// z-scoring via Standardizer, which callers should do for SUPReMM's
+// wildly mixed units), computes the covariance eigensystem with the
+// Jacobi solver, and projects onto the leading components.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace xdmodml::ml {
+
+/// Fitted PCA model.
+class Pca {
+ public:
+  /// Fits on rows of X; keeps `components` directions (0 = all).
+  void fit(const Matrix& X, std::size_t components = 0);
+
+  bool fitted() const { return !eigenvalues_.empty(); }
+  std::size_t num_components() const { return components_; }
+  std::size_t input_dimension() const { return means_.size(); }
+
+  /// Eigenvalues of the covariance (descending), all of them.
+  std::span<const double> eigenvalues() const { return eigenvalues_; }
+
+  /// Fraction of total variance captured by the first k components.
+  double explained_variance_ratio(std::size_t k) const;
+
+  /// Projects rows onto the retained components.
+  Matrix transform(const Matrix& X) const;
+  std::vector<double> transform_row(std::span<const double> x) const;
+
+  /// Reconstructs from component space back to the original space.
+  Matrix inverse_transform(const Matrix& Z) const;
+
+ private:
+  std::size_t components_ = 0;
+  std::vector<double> means_;
+  std::vector<double> eigenvalues_;
+  Matrix basis_;  ///< input_dim x components_
+};
+
+}  // namespace xdmodml::ml

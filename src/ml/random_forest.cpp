@@ -1,0 +1,382 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/model_io.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace xdmodml::ml {
+
+namespace {
+
+/// Default mtry: sqrt(F) for classification, F/3 for regression.
+std::size_t default_mtry(std::size_t num_features, bool classification) {
+  if (classification) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::sqrt(static_cast<double>(num_features))));
+  }
+  return std::max<std::size_t>(1, num_features / 3);
+}
+
+/// Bootstrap sample of n indices plus the complementary OOB set.
+void bootstrap_sample(std::size_t n, Rng& rng,
+                      std::vector<std::size_t>& in_bag,
+                      std::vector<std::size_t>& oob) {
+  in_bag.resize(n);
+  std::vector<bool> seen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_index(n));
+    in_bag[i] = j;
+    seen[j] = true;
+  }
+  oob.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!seen[i]) oob.push_back(i);
+  }
+}
+
+}  // namespace
+
+RandomForestClassifier::RandomForestClassifier(ForestConfig config,
+                                               std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  XDMODML_CHECK(config.num_trees > 0, "forest requires >= 1 tree");
+}
+
+void RandomForestClassifier::fit(const Matrix& X, std::span<const int> y,
+                                 int num_classes) {
+  XDMODML_CHECK(X.rows() == y.size() && X.rows() > 0,
+                "fit requires matching non-empty X and y");
+  XDMODML_CHECK(num_classes > 0, "num_classes must be positive");
+  num_classes_ = num_classes;
+  num_features_ = X.cols();
+
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = default_mtry(num_features_, true);
+  }
+
+  const std::size_t t = config_.num_trees;
+  trees_.assign(t, detail::TreeEngine(
+                       detail::TreeEngine::Task::kClassification,
+                       tree_config));
+  oob_rows_.assign(t, {});
+
+  // Pre-split one RNG stream per tree for scheduling-independent results.
+  Rng root(seed_);
+  std::vector<Rng> streams;
+  streams.reserve(t);
+  for (std::size_t i = 0; i < t; ++i) streams.push_back(root.split());
+
+  const std::size_t n = X.rows();
+  auto train_tree = [&](std::size_t i) {
+    Rng& rng = streams[i];
+    std::vector<std::size_t> in_bag;
+    if (config_.bootstrap) {
+      bootstrap_sample(n, rng, in_bag, oob_rows_[i]);
+    } else {
+      in_bag.resize(n);
+      std::iota(in_bag.begin(), in_bag.end(), 0);
+    }
+    trees_[i].fit(X, y, {}, num_classes, in_bag, rng);
+  };
+  if (config_.parallel) {
+    ThreadPool::global().parallel_for(0, t, train_tree);
+  } else {
+    for (std::size_t i = 0; i < t; ++i) train_tree(i);
+  }
+
+  // Aggregate impurity importance across trees.
+  impurity_importance_.assign(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto imp = tree.impurity_importance();
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      impurity_importance_[f] += imp[f];
+    }
+  }
+  const double total = std::accumulate(impurity_importance_.begin(),
+                                       impurity_importance_.end(), 0.0);
+  if (total > 0.0) {
+    for (auto& v : impurity_importance_) v /= total;
+  }
+
+  // OOB error: majority vote over the trees for which each row was OOB.
+  oob_error_ = -1.0;
+  if (config_.bootstrap) {
+    std::vector<std::vector<std::size_t>> votes(
+        n, std::vector<std::size_t>(static_cast<std::size_t>(num_classes), 0));
+    for (std::size_t i = 0; i < t; ++i) {
+      for (const auto row : oob_rows_[i]) {
+        const auto probs = trees_[i].leaf_probs(X.row(row));
+        const auto best = static_cast<std::size_t>(
+            std::max_element(probs.begin(), probs.end()) - probs.begin());
+        ++votes[row][best];
+      }
+    }
+    std::size_t evaluated = 0;
+    std::size_t wrong = 0;
+    for (std::size_t row = 0; row < n; ++row) {
+      const auto total_votes = std::accumulate(votes[row].begin(),
+                                               votes[row].end(),
+                                               std::size_t{0});
+      if (total_votes == 0) continue;
+      ++evaluated;
+      const auto best = static_cast<int>(
+          std::max_element(votes[row].begin(), votes[row].end()) -
+          votes[row].begin());
+      if (best != y[row]) ++wrong;
+    }
+    if (evaluated > 0) {
+      oob_error_ =
+          static_cast<double>(wrong) / static_cast<double>(evaluated);
+    }
+  }
+}
+
+std::vector<double> RandomForestClassifier::predict_proba(
+    std::span<const double> x) const {
+  XDMODML_CHECK(!trees_.empty(), "predict before fit");
+  std::vector<double> proba(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto probs = tree.leaf_probs(x);
+    for (std::size_t c = 0; c < proba.size(); ++c) proba[c] += probs[c];
+  }
+  const auto t = static_cast<double>(trees_.size());
+  for (auto& p : proba) p /= t;
+  return proba;
+}
+
+double RandomForestClassifier::oob_error() const {
+  XDMODML_CHECK(oob_error_ >= 0.0,
+                "OOB error unavailable (bootstrap disabled or not fitted)");
+  return oob_error_;
+}
+
+std::vector<FeatureImportance>
+RandomForestClassifier::permutation_importance(const Matrix& X,
+                                               std::span<const int> y,
+                                               std::uint64_t seed) const {
+  XDMODML_CHECK(!trees_.empty(), "importance before fit");
+  XDMODML_CHECK(config_.bootstrap, "permutation importance requires OOB rows");
+  XDMODML_CHECK(X.rows() == y.size() && X.cols() == num_features_,
+                "X/y must be the training data");
+
+  const std::size_t t = trees_.size();
+  // decrease[tree][feature]
+  std::vector<std::vector<double>> decrease(
+      t, std::vector<double>(num_features_, 0.0));
+  std::vector<char> tree_used(t, 0);
+
+  Rng root(seed);
+  std::vector<Rng> streams;
+  streams.reserve(t);
+  for (std::size_t i = 0; i < t; ++i) streams.push_back(root.split());
+
+  auto evaluate_tree = [&](std::size_t i) {
+    const auto& oob = oob_rows_[i];
+    if (oob.empty()) return;
+    tree_used[i] = 1;
+    Rng& rng = streams[i];
+    const auto n_oob = static_cast<double>(oob.size());
+
+    // Baseline accuracy on this tree's OOB rows.
+    std::size_t baseline_correct = 0;
+    for (const auto row : oob) {
+      const auto probs = trees_[i].leaf_probs(X.row(row));
+      const auto best = static_cast<int>(
+          std::max_element(probs.begin(), probs.end()) - probs.begin());
+      if (best == y[row]) ++baseline_correct;
+    }
+    const double baseline =
+        static_cast<double>(baseline_correct) / n_oob;
+
+    std::vector<double> scratch;
+    std::vector<double> permuted(oob.size());
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      // Permute feature f among the OOB rows.
+      permuted.resize(oob.size());
+      for (std::size_t k = 0; k < oob.size(); ++k) {
+        permuted[k] = X(oob[k], f);
+      }
+      rng.shuffle(permuted);
+      std::size_t correct = 0;
+      for (std::size_t k = 0; k < oob.size(); ++k) {
+        const auto row = X.row(oob[k]);
+        scratch.assign(row.begin(), row.end());
+        scratch[f] = permuted[k];
+        const auto probs = trees_[i].leaf_probs(scratch);
+        const auto best = static_cast<int>(
+            std::max_element(probs.begin(), probs.end()) - probs.begin());
+        if (best == y[oob[k]]) ++correct;
+      }
+      decrease[i][f] = baseline - static_cast<double>(correct) / n_oob;
+    }
+  };
+  if (config_.parallel) {
+    ThreadPool::global().parallel_for(0, t, evaluate_tree);
+  } else {
+    for (std::size_t i = 0; i < t; ++i) evaluate_tree(i);
+  }
+
+  std::size_t used = 0;
+  for (const auto flag : tree_used) used += flag;
+  XDMODML_CHECK(used > 0, "no tree had OOB rows");
+
+  std::vector<FeatureImportance> out(num_features_);
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < t; ++i) sum += decrease[i][f];
+    out[f].feature = f;
+    out[f].mean_decrease_accuracy = sum / static_cast<double>(used);
+    out[f].mean_decrease_impurity = impurity_importance_[f];
+  }
+  return out;
+}
+
+void RandomForestClassifier::save(std::ostream& out) const {
+  XDMODML_CHECK(!trees_.empty(), "cannot save an untrained forest");
+  io::write_tag(out, "forest-v1");
+  io::write_scalar(out, "classes",
+                   static_cast<std::int64_t>(num_classes_));
+  io::write_scalar(out, "features",
+                   static_cast<std::int64_t>(num_features_));
+  io::write_scalar(out, "trees", static_cast<std::int64_t>(trees_.size()));
+  for (const auto& tree : trees_) tree.save(out);
+  io::write_vector(out, "impurity_importance", impurity_importance_);
+}
+
+RandomForestClassifier RandomForestClassifier::load(std::istream& in) {
+  io::TokenReader reader(in);
+  reader.expect("forest-v1");
+  RandomForestClassifier forest;
+  forest.num_classes_ = static_cast<int>(reader.read_int("classes"));
+  forest.num_features_ =
+      static_cast<std::size_t>(reader.read_int("features"));
+  const auto tree_count = reader.read_int("trees");
+  XDMODML_CHECK(tree_count > 0, "corrupt forest tree count");
+  forest.trees_.reserve(static_cast<std::size_t>(tree_count));
+  for (std::int64_t i = 0; i < tree_count; ++i) {
+    forest.trees_.push_back(detail::TreeEngine::load(in));
+  }
+  io::TokenReader tail(in);
+  forest.impurity_importance_ = tail.read_vector("impurity_importance");
+  forest.oob_error_ = -1.0;  // training-time artifact, not serialized
+  return forest;
+}
+
+RandomForestRegressor::RandomForestRegressor(ForestConfig config,
+                                             std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  XDMODML_CHECK(config.num_trees > 0, "forest requires >= 1 tree");
+}
+
+void RandomForestRegressor::fit(const Matrix& X, std::span<const double> y) {
+  XDMODML_CHECK(X.rows() == y.size() && X.rows() > 0,
+                "fit requires matching non-empty X and y");
+  num_features_ = X.cols();
+
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = default_mtry(num_features_, false);
+  }
+  if (tree_config.min_samples_leaf < 2) {
+    tree_config.min_samples_leaf = 2;  // randomForest regression default ~5
+  }
+
+  const std::size_t t = config_.num_trees;
+  trees_.assign(
+      t, detail::TreeEngine(detail::TreeEngine::Task::kRegression,
+                            tree_config));
+  std::vector<std::vector<std::size_t>> oob_rows(t);
+
+  Rng root(seed_);
+  std::vector<Rng> streams;
+  streams.reserve(t);
+  for (std::size_t i = 0; i < t; ++i) streams.push_back(root.split());
+
+  const std::size_t n = X.rows();
+  auto train_tree = [&](std::size_t i) {
+    Rng& rng = streams[i];
+    std::vector<std::size_t> in_bag;
+    if (config_.bootstrap) {
+      bootstrap_sample(n, rng, in_bag, oob_rows[i]);
+    } else {
+      in_bag.resize(n);
+      std::iota(in_bag.begin(), in_bag.end(), 0);
+    }
+    trees_[i].fit(X, {}, y, 0, in_bag, rng);
+  };
+  if (config_.parallel) {
+    ThreadPool::global().parallel_for(0, t, train_tree);
+  } else {
+    for (std::size_t i = 0; i < t; ++i) train_tree(i);
+  }
+
+  // OOB MSE.
+  oob_mse_ = -1.0;
+  if (config_.bootstrap) {
+    std::vector<double> pred_sum(n, 0.0);
+    std::vector<std::size_t> pred_count(n, 0);
+    for (std::size_t i = 0; i < t; ++i) {
+      for (const auto row : oob_rows[i]) {
+        pred_sum[row] += trees_[i].leaf_value(X.row(row));
+        ++pred_count[row];
+      }
+    }
+    double se = 0.0;
+    std::size_t evaluated = 0;
+    for (std::size_t row = 0; row < n; ++row) {
+      if (pred_count[row] == 0) continue;
+      const double pred =
+          pred_sum[row] / static_cast<double>(pred_count[row]);
+      const double d = pred - y[row];
+      se += d * d;
+      ++evaluated;
+    }
+    if (evaluated > 0) oob_mse_ = se / static_cast<double>(evaluated);
+  }
+}
+
+double RandomForestRegressor::predict(std::span<const double> x) const {
+  XDMODML_CHECK(!trees_.empty(), "predict before fit");
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.leaf_value(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+void RandomForestRegressor::save(std::ostream& out) const {
+  XDMODML_CHECK(!trees_.empty(), "cannot save an untrained forest");
+  io::write_tag(out, "forest-reg-v1");
+  io::write_scalar(out, "features",
+                   static_cast<std::int64_t>(num_features_));
+  io::write_scalar(out, "trees", static_cast<std::int64_t>(trees_.size()));
+  for (const auto& tree : trees_) tree.save(out);
+}
+
+RandomForestRegressor RandomForestRegressor::load(std::istream& in) {
+  io::TokenReader reader(in);
+  reader.expect("forest-reg-v1");
+  RandomForestRegressor forest;
+  forest.num_features_ =
+      static_cast<std::size_t>(reader.read_int("features"));
+  const auto tree_count = reader.read_int("trees");
+  XDMODML_CHECK(tree_count > 0, "corrupt forest tree count");
+  forest.trees_.reserve(static_cast<std::size_t>(tree_count));
+  for (std::int64_t i = 0; i < tree_count; ++i) {
+    forest.trees_.push_back(detail::TreeEngine::load(in));
+  }
+  forest.oob_mse_ = -1.0;
+  return forest;
+}
+
+double RandomForestRegressor::oob_mse() const {
+  XDMODML_CHECK(oob_mse_ >= 0.0,
+                "OOB MSE unavailable (bootstrap disabled or not fitted)");
+  return oob_mse_;
+}
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,238 @@
+#include "ml/smo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace xdmodml::ml {
+
+KernelRowCache::KernelRowCache(
+    std::size_t n, std::size_t capacity,
+    std::function<void(std::size_t, std::span<double>)> compute)
+    : n_(n), capacity_(std::max<std::size_t>(2, capacity)),
+      compute_(std::move(compute)) {}
+
+std::span<const double> KernelRowCache::row(std::size_t i) {
+  XDMODML_CHECK(i < n_, "kernel row index out of range");
+  const auto it = rows_.find(i);
+  if (it != rows_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.data;
+  }
+  ++misses_;
+  if (rows_.size() >= capacity_) {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    rows_.erase(victim);
+  }
+  lru_.push_front(i);
+  Entry entry;
+  entry.data.resize(n_);
+  compute_(i, entry.data);
+  entry.lru_it = lru_.begin();
+  auto [pos, inserted] = rows_.emplace(i, std::move(entry));
+  (void)inserted;
+  return pos->second.data;
+}
+
+SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
+  const std::size_t n = problem.n;
+  XDMODML_CHECK(n > 0, "SMO requires at least one variable");
+  XDMODML_CHECK(problem.p.size() == n && problem.y.size() == n &&
+                    problem.c.size() == n,
+                "SMO problem vectors must all have size n");
+  XDMODML_CHECK(static_cast<bool>(problem.kernel_row),
+                "SMO requires a kernel_row callback");
+
+  constexpr double kTau = 1e-12;
+  const auto y = problem.y;
+  const auto c = problem.c;
+
+  KernelRowCache cache(n, config.cache_rows, problem.kernel_row);
+
+  // Kernel diagonal (needed by second-order selection every iteration).
+  std::vector<double> k_diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k_diag[i] = cache.row(i)[i];
+  }
+
+  SmoResult result;
+  result.alpha.assign(n, 0.0);
+  auto& alpha = result.alpha;
+
+  // Gradient of the signed-Q objective; alpha = 0 -> G = p.
+  std::vector<double> grad(problem.p.begin(), problem.p.end());
+
+  const auto is_upper = [&](std::size_t t) { return alpha[t] >= c[t]; };
+  const auto is_lower = [&](std::size_t t) { return alpha[t] <= 0.0; };
+
+  std::size_t iter = 0;
+  for (; iter < config.max_iterations; ++iter) {
+    // Working-set selection: i by first-order max violation, j by the
+    // second-order rule (LIBSVM WSS2).
+    double g_max = -std::numeric_limits<double>::infinity();
+    std::ptrdiff_t i = -1;
+    for (std::size_t t = 0; t < n; ++t) {
+      const bool in_up = (y[t] > 0 && !is_upper(t)) ||
+                         (y[t] < 0 && !is_lower(t));
+      if (!in_up) continue;
+      const double v = -static_cast<double>(y[t]) * grad[t];
+      if (v > g_max) {
+        g_max = v;
+        i = static_cast<std::ptrdiff_t>(t);
+      }
+    }
+    if (i < 0) {  // nothing movable upward: optimal
+      result.converged = true;
+      break;
+    }
+    const auto ui = static_cast<std::size_t>(i);
+    const auto row_i = cache.row(ui);
+
+    double g_min = std::numeric_limits<double>::infinity();
+    double best_obj = std::numeric_limits<double>::infinity();
+    std::ptrdiff_t j = -1;
+    for (std::size_t t = 0; t < n; ++t) {
+      const bool in_low = (y[t] > 0 && !is_lower(t)) ||
+                          (y[t] < 0 && !is_upper(t));
+      if (!in_low) continue;
+      const double v = -static_cast<double>(y[t]) * grad[t];
+      g_min = std::min(g_min, v);
+      const double b = g_max - v;  // violation of pair (i, t)
+      if (b <= 0.0) continue;
+      // Curvature along the pair direction is ||φ(x_i) − φ(x_t)||²
+      // regardless of the label signs.
+      double a = k_diag[ui] + k_diag[t] - 2.0 * row_i[t];
+      if (a <= 0.0) a = kTau;
+      const double obj = -(b * b) / a;
+      if (obj < best_obj) {
+        best_obj = obj;
+        j = static_cast<std::ptrdiff_t>(t);
+      }
+    }
+    if (j < 0 || g_max - g_min < config.tolerance) {
+      result.converged = (j < 0) || (g_max - g_min < config.tolerance);
+      break;
+    }
+    const auto uj = static_cast<std::size_t>(j);
+    const auto row_j = cache.row(uj);
+
+    // Two-variable analytic update (LIBSVM's update rules).
+    const double old_ai = alpha[ui];
+    const double old_aj = alpha[uj];
+    const double ci = c[ui];
+    const double cj = c[uj];
+    if (y[ui] != y[uj]) {
+      double quad = k_diag[ui] + k_diag[uj] - 2.0 * row_i[uj];
+      if (quad <= 0.0) quad = kTau;
+      const double delta = (-grad[ui] - grad[uj]) / quad;
+      const double diff = alpha[ui] - alpha[uj];
+      alpha[ui] += delta;
+      alpha[uj] += delta;
+      if (diff > 0.0) {
+        if (alpha[uj] < 0.0) {
+          alpha[uj] = 0.0;
+          alpha[ui] = diff;
+        }
+      } else {
+        if (alpha[ui] < 0.0) {
+          alpha[ui] = 0.0;
+          alpha[uj] = -diff;
+        }
+      }
+      if (diff > ci - cj) {
+        if (alpha[ui] > ci) {
+          alpha[ui] = ci;
+          alpha[uj] = ci - diff;
+        }
+      } else {
+        if (alpha[uj] > cj) {
+          alpha[uj] = cj;
+          alpha[ui] = cj + diff;
+        }
+      }
+    } else {
+      double quad = k_diag[ui] + k_diag[uj] - 2.0 * row_i[uj];
+      if (quad <= 0.0) quad = kTau;
+      const double delta = (grad[ui] - grad[uj]) / quad;
+      const double sum = alpha[ui] + alpha[uj];
+      alpha[ui] -= delta;
+      alpha[uj] += delta;
+      if (sum > ci) {
+        if (alpha[ui] > ci) {
+          alpha[ui] = ci;
+          alpha[uj] = sum - ci;
+        }
+      } else {
+        if (alpha[uj] < 0.0) {
+          alpha[uj] = 0.0;
+          alpha[ui] = sum;
+        }
+      }
+      if (sum > cj) {
+        if (alpha[uj] > cj) {
+          alpha[uj] = cj;
+          alpha[ui] = sum - cj;
+        }
+      } else {
+        if (alpha[ui] < 0.0) {
+          alpha[ui] = 0.0;
+          alpha[uj] = sum;
+        }
+      }
+    }
+
+    // Gradient maintenance: G_t += Q_ti * dai + Q_tj * daj.
+    const double dai = alpha[ui] - old_ai;
+    const double daj = alpha[uj] - old_aj;
+    if (dai != 0.0 || daj != 0.0) {
+      for (std::size_t t = 0; t < n; ++t) {
+        const auto yt = static_cast<double>(y[t]);
+        grad[t] += yt * (static_cast<double>(y[ui]) * row_i[t] * dai +
+                         static_cast<double>(y[uj]) * row_j[t] * daj);
+      }
+    }
+  }
+  result.iterations = iter;
+  if (iter >= config.max_iterations) result.converged = false;
+
+  // rho (decision offset): average of y_i G_i over free SVs, or the
+  // midpoint of the bound interval when none are free.
+  double ub = std::numeric_limits<double>::infinity();
+  double lb = -std::numeric_limits<double>::infinity();
+  double sum_free = 0.0;
+  std::size_t nr_free = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double yg = static_cast<double>(y[t]) * grad[t];
+    if (is_upper(t)) {
+      if (y[t] < 0) {
+        ub = std::min(ub, yg);
+      } else {
+        lb = std::max(lb, yg);
+      }
+    } else if (is_lower(t)) {
+      if (y[t] > 0) {
+        ub = std::min(ub, yg);
+      } else {
+        lb = std::max(lb, yg);
+      }
+    } else {
+      ++nr_free;
+      sum_free += yg;
+    }
+  }
+  result.rho = nr_free > 0 ? sum_free / static_cast<double>(nr_free)
+                           : 0.5 * (ub + lb);
+
+  double obj = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    obj += alpha[t] * (grad[t] + problem.p[t]);
+  }
+  result.objective = 0.5 * obj;
+  return result;
+}
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,78 @@
+// Sequential Minimal Optimization solver for SVM dual problems.
+//
+// Solves   min_a  1/2 aᵀQa + pᵀa
+//          s.t.   yᵀa = 0,  0 <= a_i <= C_i
+//
+// with Q_ij = y_i y_j k(x_i, x_j), using maximal-violating-pair working-set
+// selection (Keerthi et al.; the LIBSVM first-order rule).  Both C-SVC and
+// ε-SVR reduce to this form — SVR by doubling the variables, exactly as in
+// LIBSVM.  Kernel rows are memoised in a bounded LRU cache so the solver
+// handles training sets whose full Gram matrix would not fit in memory.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace xdmodml::ml {
+
+/// Inputs to the SMO solver.  `kernel_row(i)` must return the full i-th row
+/// of the *kernel* matrix k(x_i, x_j) for j in [0, n) — the solver applies
+/// the y_i y_j signs itself.
+struct SmoProblem {
+  std::size_t n = 0;
+  std::function<void(std::size_t i, std::span<double> out)> kernel_row;
+  std::span<const double> p;     ///< linear term, size n
+  std::span<const signed char> y;  ///< ±1 labels, size n
+  std::span<const double> c;     ///< per-variable upper bounds, size n
+};
+
+/// Solver knobs.
+struct SmoConfig {
+  double tolerance = 1e-3;      ///< KKT violation tolerance
+  std::size_t max_iterations = 10'000'000;
+  std::size_t cache_rows = 4096;  ///< LRU capacity (rows of length n)
+};
+
+/// Solver output.
+struct SmoResult {
+  std::vector<double> alpha;
+  double rho = 0.0;  ///< decision offset; f(x) = Σ y_i a_i k(x_i,x) - rho
+  std::size_t iterations = 0;
+  bool converged = false;
+  double objective = 0.0;
+};
+
+/// Runs SMO to convergence (or the iteration cap).
+SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config = {});
+
+/// Bounded LRU cache of kernel rows, shared by solver and tests.
+class KernelRowCache {
+ public:
+  KernelRowCache(std::size_t n, std::size_t capacity,
+                 std::function<void(std::size_t, std::span<double>)> compute);
+
+  /// Returns the row, computing and caching it if absent.
+  std::span<const double> row(std::size_t i);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  std::size_t n_;
+  std::size_t capacity_;
+  std::function<void(std::size_t, std::span<double>)> compute_;
+  std::list<std::size_t> lru_;  // most recent at front
+  struct Entry {
+    std::vector<double> data;
+    std::list<std::size_t>::iterator lru_it;
+  };
+  std::unordered_map<std::size_t, Entry> rows_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace xdmodml::ml

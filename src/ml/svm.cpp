@@ -1,0 +1,643 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/model_io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace xdmodml::ml {
+
+double PlattSigmoid::probability(double decision_value) const {
+  // Numerically stable logistic evaluation.
+  const double f = a * decision_value + b;
+  if (f >= 0.0) {
+    const double e = std::exp(-f);
+    return e / (1.0 + e);
+  }
+  return 1.0 / (1.0 + std::exp(f));
+}
+
+PlattSigmoid fit_platt_sigmoid(std::span<const double> decision_values,
+                               std::span<const signed char> labels) {
+  XDMODML_CHECK(decision_values.size() == labels.size() &&
+                    !decision_values.empty(),
+                "Platt fit requires parallel non-empty inputs");
+  const std::size_t n = decision_values.size();
+
+  // Lin, Lin & Weng (2007) Algorithm 1.
+  double prior1 = 0.0;
+  double prior0 = 0.0;
+  for (const auto y : labels) (y > 0 ? prior1 : prior0) += 1.0;
+
+  const double hi_target = (prior1 + 1.0) / (prior1 + 2.0);
+  const double lo_target = 1.0 / (prior0 + 2.0);
+  std::vector<double> t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = labels[i] > 0 ? hi_target : lo_target;
+  }
+
+  double a = 0.0;
+  double b = std::log((prior0 + 1.0) / (prior1 + 1.0));
+  constexpr int kMaxIter = 100;
+  constexpr double kMinStep = 1e-10;
+  constexpr double kSigma = 1e-12;
+  constexpr double kEps = 1e-5;
+
+  auto objective = [&](double aa, double bb) {
+    double obj = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double f = decision_values[i] * aa + bb;
+      if (f >= 0.0) {
+        obj += t[i] * f + std::log1p(std::exp(-f));
+      } else {
+        obj += (t[i] - 1.0) * f + std::log1p(std::exp(f));
+      }
+    }
+    return obj;
+  };
+
+  double fval = objective(a, b);
+  for (int iter = 0; iter < kMaxIter; ++iter) {
+    // Gradient and Hessian.
+    double h11 = kSigma;
+    double h22 = kSigma;
+    double h21 = 0.0;
+    double g1 = 0.0;
+    double g2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double f = decision_values[i] * a + b;
+      double p = 0.0;
+      double q = 0.0;
+      if (f >= 0.0) {
+        const double e = std::exp(-f);
+        p = e / (1.0 + e);
+        q = 1.0 / (1.0 + e);
+      } else {
+        const double e = std::exp(f);
+        p = 1.0 / (1.0 + e);
+        q = e / (1.0 + e);
+      }
+      const double d2 = p * q;
+      h11 += decision_values[i] * decision_values[i] * d2;
+      h22 += d2;
+      h21 += decision_values[i] * d2;
+      const double d1 = t[i] - p;
+      g1 += decision_values[i] * d1;
+      g2 += d1;
+    }
+    if (std::abs(g1) < kEps && std::abs(g2) < kEps) break;
+
+    // Newton direction with backtracking line search.
+    const double det = h11 * h22 - h21 * h21;
+    const double da = -(h22 * g1 - h21 * g2) / det;
+    const double db = -(-h21 * g1 + h11 * g2) / det;
+    const double gd = g1 * da + g2 * db;
+    double step = 1.0;
+    while (step >= kMinStep) {
+      const double new_a = a + step * da;
+      const double new_b = b + step * db;
+      const double new_f = objective(new_a, new_b);
+      if (new_f < fval + 1e-4 * step * gd) {
+        a = new_a;
+        b = new_b;
+        fval = new_f;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (step < kMinStep) break;  // line search failed
+  }
+  return PlattSigmoid{a, b};
+}
+
+std::vector<double> couple_pairwise_probabilities(const Matrix& pairwise) {
+  const std::size_t k = pairwise.rows();
+  XDMODML_CHECK(k > 0 && pairwise.cols() == k,
+                "pairwise matrix must be square");
+  if (k == 1) return {1.0};
+
+  // LIBSVM multiclass_probability (Wu–Lin–Weng method 2).
+  // r(i, j) = P(i | i or j); r(j, i) = 1 - r(i, j).
+  Matrix q(k, k, 0.0);
+  for (std::size_t t = 0; t < k; ++t) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == t) continue;
+      q(t, t) += pairwise(j, t) * pairwise(j, t);
+      q(t, j) = -pairwise(j, t) * pairwise(t, j);
+    }
+  }
+
+  std::vector<double> p(k, 1.0 / static_cast<double>(k));
+  std::vector<double> qp(k, 0.0);
+  const std::size_t max_iter = std::max<std::size_t>(100, k);
+  constexpr double kEps = 0.005 / 100.0;
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    double pqp = 0.0;
+    for (std::size_t t = 0; t < k; ++t) {
+      qp[t] = 0.0;
+      for (std::size_t j = 0; j < k; ++j) qp[t] += q(t, j) * p[j];
+      pqp += p[t] * qp[t];
+    }
+    double max_error = 0.0;
+    for (std::size_t t = 0; t < k; ++t) {
+      max_error = std::max(max_error, std::abs(qp[t] - pqp));
+    }
+    if (max_error < kEps) break;
+    for (std::size_t t = 0; t < k; ++t) {
+      const double diff = (-qp[t] + pqp) / q(t, t);
+      p[t] += diff;
+      pqp = (pqp + diff * (diff * q(t, t) + 2.0 * qp[t])) /
+            ((1.0 + diff) * (1.0 + diff));
+      for (std::size_t j = 0; j < k; ++j) {
+        qp[j] = (qp[j] + diff * q(t, j)) / (1.0 + diff);
+        p[j] /= (1.0 + diff);
+      }
+    }
+  }
+  // Clean up round-off and renormalize.
+  double total = 0.0;
+  for (auto& v : p) {
+    v = std::max(0.0, v);
+    total += v;
+  }
+  if (total <= 0.0) {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(k));
+  } else {
+    for (auto& v : p) v /= total;
+  }
+  return p;
+}
+
+void BinarySvm::fit_decision(const Matrix& X, std::span<const signed char> y,
+                             const SvmConfig& config, double c_positive,
+                             double c_negative) {
+  const std::size_t n = X.rows();
+  std::vector<double> p(n, -1.0);
+  std::vector<double> c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] = config.c * (y[i] > 0 ? c_positive : c_negative);
+  }
+
+  SmoProblem problem;
+  problem.n = n;
+  problem.p = p;
+  problem.y = y;
+  problem.c = c;
+  problem.kernel_row = [&X, &config](std::size_t i, std::span<double> out) {
+    const auto xi = X.row(i);
+    for (std::size_t j = 0; j < X.rows(); ++j) {
+      out[j] = config.kernel(xi, X.row(j));
+    }
+  };
+
+  const SmoResult result = solve_smo(problem, config.smo);
+  rho_ = result.rho;
+  kernel_ = config.kernel;
+
+  // Keep only the support vectors.
+  std::vector<std::size_t> sv_rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.alpha[i] > 0.0) sv_rows.push_back(i);
+  }
+  support_vectors_ = X.gather_rows(sv_rows);
+  coef_.resize(sv_rows.size());
+  for (std::size_t s = 0; s < sv_rows.size(); ++s) {
+    coef_[s] = result.alpha[sv_rows[s]] *
+               static_cast<double>(y[sv_rows[s]]);
+  }
+  trained_ = true;
+}
+
+void BinarySvm::fit(const Matrix& X, std::span<const signed char> y,
+                    const SvmConfig& config, std::uint64_t seed,
+                    double c_positive, double c_negative) {
+  XDMODML_CHECK(c_positive > 0.0 && c_negative > 0.0,
+                "class weights must be positive");
+  XDMODML_CHECK(X.rows() == y.size() && X.rows() >= 2,
+                "binary SVM needs at least two samples");
+  bool has_pos = false;
+  bool has_neg = false;
+  for (const auto v : y) {
+    XDMODML_CHECK(v == 1 || v == -1, "binary SVM labels must be ±1");
+    (v > 0 ? has_pos : has_neg) = true;
+  }
+  XDMODML_CHECK(has_pos && has_neg, "binary SVM needs both classes");
+
+  has_platt_ = false;
+  if (config.probability) {
+    // Cross-validated decision values keep the sigmoid honest: in-sample
+    // decision values of a C=1000 RBF machine are nearly separable and
+    // would produce a degenerate, overconfident sigmoid.
+    const std::size_t folds =
+        std::min<std::size_t>(std::max<std::size_t>(2, config.platt_cv_folds),
+                              X.rows());
+    Rng rng(seed);
+    std::vector<std::size_t> order(X.rows());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    std::vector<double> cv_decisions(X.rows(), 0.0);
+    std::vector<signed char> cv_labels(X.rows(), 0);
+    bool cv_ok = true;
+    for (std::size_t f = 0; f < folds && cv_ok; ++f) {
+      std::vector<std::size_t> train_rows;
+      std::vector<std::size_t> test_rows;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        (i % folds == f ? test_rows : train_rows).push_back(order[i]);
+      }
+      std::vector<signed char> train_y;
+      train_y.reserve(train_rows.size());
+      bool fold_pos = false;
+      bool fold_neg = false;
+      for (const auto r : train_rows) {
+        train_y.push_back(y[r]);
+        (y[r] > 0 ? fold_pos : fold_neg) = true;
+      }
+      if (!fold_pos || !fold_neg || train_rows.size() < 2) {
+        cv_ok = false;
+        break;
+      }
+      BinarySvm fold_svm;
+      SvmConfig fold_config = config;
+      fold_config.probability = false;
+      fold_svm.fit(X.gather_rows(train_rows), train_y, fold_config,
+                   seed + f, c_positive, c_negative);
+      for (std::size_t i = 0; i < test_rows.size(); ++i) {
+        const auto r = test_rows[i];
+        cv_decisions[r] = fold_svm.decision_value(X.row(r));
+        cv_labels[r] = y[r];
+      }
+    }
+    if (cv_ok) {
+      platt_ = fit_platt_sigmoid(cv_decisions, cv_labels);
+      has_platt_ = true;
+    }
+  }
+
+  fit_decision(X, y, config, c_positive, c_negative);
+
+  if (config.probability && !has_platt_) {
+    // CV degenerate (tiny class) — fall back to in-sample calibration.
+    std::vector<double> decisions(X.rows());
+    for (std::size_t i = 0; i < X.rows(); ++i) {
+      decisions[i] = decision_value(X.row(i));
+    }
+    platt_ = fit_platt_sigmoid(decisions, y);
+    has_platt_ = true;
+  }
+}
+
+double BinarySvm::decision_value(std::span<const double> x) const {
+  XDMODML_CHECK(trained_, "decision_value before fit");
+  double f = -rho_;
+  for (std::size_t s = 0; s < support_vectors_.rows(); ++s) {
+    f += coef_[s] * kernel_(support_vectors_.row(s), x);
+  }
+  return f;
+}
+
+double BinarySvm::probability_positive(std::span<const double> x) const {
+  XDMODML_CHECK(has_platt_, "probability requested without Platt fit");
+  return platt_.probability(decision_value(x));
+}
+
+const PlattSigmoid& BinarySvm::sigmoid() const {
+  XDMODML_CHECK(has_platt_, "sigmoid unavailable");
+  return platt_;
+}
+
+void BinarySvm::save(std::ostream& out) const {
+  XDMODML_CHECK(trained_, "cannot save an untrained SVM");
+  io::write_tag(out, "binary-svm-v1");
+  io::write_scalar(out, "kernel_type",
+                   static_cast<std::int64_t>(kernel_.type));
+  io::write_scalar(out, "gamma", kernel_.gamma);
+  io::write_scalar(out, "degree", kernel_.degree);
+  io::write_scalar(out, "coef0", kernel_.coef0);
+  io::write_scalar(out, "rho", rho_);
+  io::write_scalar(out, "has_platt",
+                   static_cast<std::int64_t>(has_platt_ ? 1 : 0));
+  io::write_scalar(out, "platt_a", platt_.a);
+  io::write_scalar(out, "platt_b", platt_.b);
+  io::write_scalar(out, "svs",
+                   static_cast<std::int64_t>(support_vectors_.rows()));
+  io::write_scalar(out, "dims",
+                   static_cast<std::int64_t>(support_vectors_.cols()));
+  io::write_vector(out, "coef", coef_);
+  for (std::size_t r = 0; r < support_vectors_.rows(); ++r) {
+    io::write_vector(out, "sv", support_vectors_.row(r));
+  }
+}
+
+BinarySvm BinarySvm::load(std::istream& in) {
+  io::TokenReader reader(in);
+  reader.expect("binary-svm-v1");
+  BinarySvm svm;
+  const auto kernel_type = reader.read_int("kernel_type");
+  XDMODML_CHECK(kernel_type >= 0 && kernel_type <= 2,
+                "corrupt SVM kernel type");
+  svm.kernel_.type = static_cast<Kernel::Type>(kernel_type);
+  svm.kernel_.gamma = reader.read_double("gamma");
+  svm.kernel_.degree = reader.read_double("degree");
+  svm.kernel_.coef0 = reader.read_double("coef0");
+  svm.rho_ = reader.read_double("rho");
+  svm.has_platt_ = reader.read_int("has_platt") != 0;
+  svm.platt_.a = reader.read_double("platt_a");
+  svm.platt_.b = reader.read_double("platt_b");
+  const auto svs = reader.read_int("svs");
+  const auto dims = reader.read_int("dims");
+  XDMODML_CHECK(svs > 0 && dims > 0, "corrupt SVM shape");
+  svm.coef_ = reader.read_vector("coef");
+  XDMODML_CHECK(svm.coef_.size() == static_cast<std::size_t>(svs),
+                "corrupt SVM coefficient count");
+  for (std::int64_t r = 0; r < svs; ++r) {
+    const auto row = reader.read_vector("sv");
+    XDMODML_CHECK(row.size() == static_cast<std::size_t>(dims),
+                  "corrupt SVM support vector width");
+    svm.support_vectors_.append_row(row);
+  }
+  svm.trained_ = true;
+  return svm;
+}
+
+SvmClassifier::SvmClassifier(SvmConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+std::size_t SvmClassifier::machine_index(int a, int b) const {
+  XDMODML_CHECK(a >= 0 && b > a && b < num_classes_,
+                "machine_index requires 0 <= a < b < k");
+  // Machines are stored in lexicographic (a, b) order.
+  const auto k = static_cast<std::size_t>(num_classes_);
+  const auto ua = static_cast<std::size_t>(a);
+  const auto ub = static_cast<std::size_t>(b);
+  return ua * k - ua * (ua + 1) / 2 + (ub - ua - 1);
+}
+
+void SvmClassifier::fit(const Matrix& X, std::span<const int> y,
+                        int num_classes) {
+  XDMODML_CHECK(X.rows() == y.size() && X.rows() > 0,
+                "fit requires matching non-empty X and y");
+  XDMODML_CHECK(num_classes >= 2, "multiclass SVM needs >= 2 classes");
+  num_classes_ = num_classes;
+
+  // Group rows by class once.
+  std::vector<std::vector<std::size_t>> rows_by_class(
+      static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    XDMODML_CHECK(y[i] >= 0 && y[i] < num_classes, "label out of range");
+    rows_by_class[static_cast<std::size_t>(y[i])].push_back(i);
+  }
+
+  struct PairTask {
+    int a;
+    int b;
+    std::uint64_t seed;
+  };
+  std::vector<PairTask> tasks;
+  for (int a = 0; a < num_classes; ++a) {
+    for (int b = a + 1; b < num_classes; ++b) {
+      tasks.push_back({a, b, 0});
+    }
+  }
+  Rng root(seed_);
+  for (auto& task : tasks) task.seed = root();
+
+  machines_.assign(tasks.size(), BinarySvm{});
+  auto train_pair = [&](std::size_t idx) {
+    const auto& task = tasks[idx];
+    const auto& rows_a = rows_by_class[static_cast<std::size_t>(task.a)];
+    const auto& rows_b = rows_by_class[static_cast<std::size_t>(task.b)];
+    XDMODML_CHECK(!rows_a.empty() && !rows_b.empty(),
+                  "one-vs-one training requires samples in every class");
+    std::vector<std::size_t> rows;
+    rows.reserve(rows_a.size() + rows_b.size());
+    rows.insert(rows.end(), rows_a.begin(), rows_a.end());
+    rows.insert(rows.end(), rows_b.begin(), rows_b.end());
+    std::vector<signed char> labels(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      labels[i] = i < rows_a.size() ? 1 : -1;
+    }
+    double c_pos = 1.0;
+    double c_neg = 1.0;
+    if (!config_.class_weights.empty()) {
+      XDMODML_CHECK(config_.class_weights.size() ==
+                        static_cast<std::size_t>(num_classes),
+                    "class_weights must have one entry per class");
+      c_pos = config_.class_weights[static_cast<std::size_t>(task.a)];
+      c_neg = config_.class_weights[static_cast<std::size_t>(task.b)];
+    }
+    machines_[idx].fit(X.gather_rows(rows), labels, config_, task.seed,
+                       c_pos, c_neg);
+  };
+  if (config_.parallel) {
+    ThreadPool::global().parallel_for(0, tasks.size(), train_pair);
+  } else {
+    for (std::size_t i = 0; i < tasks.size(); ++i) train_pair(i);
+  }
+}
+
+std::vector<double> SvmClassifier::predict_proba(
+    std::span<const double> x) const {
+  XDMODML_CHECK(!machines_.empty(), "predict before fit");
+  const auto k = static_cast<std::size_t>(num_classes_);
+  if (config_.probability) {
+    // Pairwise class-conditional probabilities, clipped away from {0, 1}
+    // as LIBSVM does to keep the coupling well-posed.
+    Matrix pairwise(k, k, 0.0);
+    for (int a = 0; a < num_classes_; ++a) {
+      for (int b = a + 1; b < num_classes_; ++b) {
+        const auto& machine = machines_[machine_index(a, b)];
+        double r = machine.probability_positive(x);
+        r = std::min(std::max(r, 1e-7), 1.0 - 1e-7);
+        pairwise(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) = r;
+        pairwise(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) =
+            1.0 - r;
+      }
+    }
+    return couple_pairwise_probabilities(pairwise);
+  }
+  // Vote fractions (no Platt fit).
+  std::vector<double> votes(k, 0.0);
+  for (int a = 0; a < num_classes_; ++a) {
+    for (int b = a + 1; b < num_classes_; ++b) {
+      const auto& machine = machines_[machine_index(a, b)];
+      const double f = machine.decision_value(x);
+      ++votes[static_cast<std::size_t>(f > 0.0 ? a : b)];
+    }
+  }
+  const double total = static_cast<double>(machines_.size());
+  for (auto& v : votes) v /= total;
+  return votes;
+}
+
+int SvmClassifier::predict(std::span<const double> x) const {
+  XDMODML_CHECK(!machines_.empty(), "predict before fit");
+  std::vector<std::size_t> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (int a = 0; a < num_classes_; ++a) {
+    for (int b = a + 1; b < num_classes_; ++b) {
+      const auto& machine = machines_[machine_index(a, b)];
+      ++votes[static_cast<std::size_t>(
+          machine.decision_value(x) > 0.0 ? a : b)];
+    }
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+Prediction SvmClassifier::predict_with_probability(
+    std::span<const double> x) const {
+  const int label = predict(x);
+  const auto proba = predict_proba(x);
+  return {label, proba[static_cast<std::size_t>(label)]};
+}
+
+std::size_t SvmClassifier::total_support_vectors() const {
+  std::size_t total = 0;
+  for (const auto& m : machines_) total += m.num_support_vectors();
+  return total;
+}
+
+void SvmClassifier::save(std::ostream& out) const {
+  XDMODML_CHECK(!machines_.empty(), "cannot save an untrained classifier");
+  io::write_tag(out, "svm-ovo-v1");
+  io::write_scalar(out, "classes",
+                   static_cast<std::int64_t>(num_classes_));
+  io::write_scalar(out, "probability",
+                   static_cast<std::int64_t>(config_.probability ? 1 : 0));
+  io::write_scalar(out, "machines",
+                   static_cast<std::int64_t>(machines_.size()));
+  for (const auto& machine : machines_) machine.save(out);
+}
+
+SvmClassifier SvmClassifier::load(std::istream& in) {
+  io::TokenReader reader(in);
+  reader.expect("svm-ovo-v1");
+  SvmClassifier clf;
+  clf.num_classes_ = static_cast<int>(reader.read_int("classes"));
+  clf.config_.probability = reader.read_int("probability") != 0;
+  const auto machine_count = reader.read_int("machines");
+  const auto k = static_cast<std::int64_t>(clf.num_classes_);
+  XDMODML_CHECK(machine_count == k * (k - 1) / 2,
+                "corrupt one-vs-one machine count");
+  clf.machines_.reserve(static_cast<std::size_t>(machine_count));
+  for (std::int64_t i = 0; i < machine_count; ++i) {
+    clf.machines_.push_back(BinarySvm::load(in));
+  }
+  return clf;
+}
+
+SvmRegressor::SvmRegressor(SvmConfig config) : config_(config) {
+  XDMODML_CHECK(config.epsilon >= 0.0, "SVR epsilon must be >= 0");
+}
+
+void SvmRegressor::fit(const Matrix& X, std::span<const double> y) {
+  XDMODML_CHECK(X.rows() == y.size() && X.rows() > 0,
+                "fit requires matching non-empty X and y");
+  const std::size_t l = X.rows();
+  const std::size_t n = 2 * l;
+
+  // LIBSVM's EPSILON_SVR formulation: variables [α; α*], labels [+1; −1],
+  // linear term [ε − y; ε + y], and the kernel extended by index mod l.
+  std::vector<double> p(n);
+  std::vector<signed char> labels(n);
+  std::vector<double> c(n, config_.c);
+  for (std::size_t i = 0; i < l; ++i) {
+    p[i] = config_.epsilon - y[i];
+    labels[i] = 1;
+    p[i + l] = config_.epsilon + y[i];
+    labels[i + l] = -1;
+  }
+
+  SmoProblem problem;
+  problem.n = n;
+  problem.p = p;
+  problem.y = labels;
+  problem.c = c;
+  problem.kernel_row = [&X, this, l](std::size_t i, std::span<double> out) {
+    const auto xi = X.row(i % l);
+    for (std::size_t j = 0; j < l; ++j) {
+      const double k = config_.kernel(xi, X.row(j));
+      out[j] = k;
+      out[j + l] = k;
+    }
+  };
+
+  const SmoResult result = solve_smo(problem, config_.smo);
+  rho_ = result.rho;
+  kernel_ = config_.kernel;
+
+  std::vector<std::size_t> sv_rows;
+  std::vector<double> sv_coef;
+  for (std::size_t i = 0; i < l; ++i) {
+    const double beta = result.alpha[i] - result.alpha[i + l];
+    if (beta != 0.0) {
+      sv_rows.push_back(i);
+      sv_coef.push_back(beta);
+    }
+  }
+  support_vectors_ = X.gather_rows(sv_rows);
+  coef_ = std::move(sv_coef);
+  trained_ = true;
+}
+
+void SvmRegressor::save(std::ostream& out) const {
+  XDMODML_CHECK(trained_, "cannot save an untrained regressor");
+  io::write_tag(out, "svr-v1");
+  io::write_scalar(out, "kernel_type",
+                   static_cast<std::int64_t>(kernel_.type));
+  io::write_scalar(out, "gamma", kernel_.gamma);
+  io::write_scalar(out, "degree", kernel_.degree);
+  io::write_scalar(out, "coef0", kernel_.coef0);
+  io::write_scalar(out, "rho", rho_);
+  io::write_scalar(out, "svs",
+                   static_cast<std::int64_t>(support_vectors_.rows()));
+  io::write_scalar(out, "dims",
+                   static_cast<std::int64_t>(support_vectors_.cols()));
+  io::write_vector(out, "coef", coef_);
+  for (std::size_t r = 0; r < support_vectors_.rows(); ++r) {
+    io::write_vector(out, "sv", support_vectors_.row(r));
+  }
+}
+
+SvmRegressor SvmRegressor::load(std::istream& in) {
+  io::TokenReader reader(in);
+  reader.expect("svr-v1");
+  SvmRegressor svr;
+  const auto kernel_type = reader.read_int("kernel_type");
+  XDMODML_CHECK(kernel_type >= 0 && kernel_type <= 2,
+                "corrupt SVR kernel type");
+  svr.kernel_.type = static_cast<Kernel::Type>(kernel_type);
+  svr.kernel_.gamma = reader.read_double("gamma");
+  svr.kernel_.degree = reader.read_double("degree");
+  svr.kernel_.coef0 = reader.read_double("coef0");
+  svr.rho_ = reader.read_double("rho");
+  const auto svs = reader.read_int("svs");
+  const auto dims = reader.read_int("dims");
+  XDMODML_CHECK(svs > 0 && dims > 0, "corrupt SVR shape");
+  svr.coef_ = reader.read_vector("coef");
+  XDMODML_CHECK(svr.coef_.size() == static_cast<std::size_t>(svs),
+                "corrupt SVR coefficient count");
+  for (std::int64_t r = 0; r < svs; ++r) {
+    const auto row = reader.read_vector("sv");
+    XDMODML_CHECK(row.size() == static_cast<std::size_t>(dims),
+                  "corrupt SVR support vector width");
+    svr.support_vectors_.append_row(row);
+  }
+  svr.trained_ = true;
+  return svr;
+}
+
+double SvmRegressor::predict(std::span<const double> x) const {
+  XDMODML_CHECK(trained_, "predict before fit");
+  double f = -rho_;
+  for (std::size_t s = 0; s < support_vectors_.rows(); ++s) {
+    f += coef_[s] * kernel_(support_vectors_.row(s), x);
+  }
+  return f;
+}
+
+}  // namespace xdmodml::ml

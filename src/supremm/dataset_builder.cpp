@@ -1,0 +1,76 @@
+#include "supremm/dataset_builder.hpp"
+
+#include "util/error.hpp"
+
+namespace xdmodml::supremm {
+
+ml::Dataset build_dataset(std::span<const JobSummary> jobs,
+                          const AttributeSchema& schema,
+                          const LabelFn& label_fn,
+                          std::span<const std::string> class_order) {
+  XDMODML_CHECK(static_cast<bool>(label_fn), "label_fn required");
+  ml::Dataset ds;
+  ds.feature_names = schema.names();
+  ml::LabelEncoder encoder;
+  for (const auto& name : class_order) encoder.encode(name);
+  for (const auto& job : jobs) {
+    const std::string label = label_fn(job);
+    if (label.empty()) continue;  // job dropped by the labelling
+    ds.labels.push_back(encoder.encode(label));
+    ds.X.append_row(job.extract(schema));
+  }
+  ds.class_names = encoder.names();
+  ds.validate();
+  return ds;
+}
+
+LabelFn label_by_application() {
+  return [](const JobSummary& job) {
+    return job.label_source == LabelSource::kIdentified ? job.application
+                                                        : std::string{};
+  };
+}
+
+LabelFn label_by_category() {
+  return [](const JobSummary& job) {
+    return job.label_source == LabelSource::kIdentified ? job.category
+                                                        : std::string{};
+  };
+}
+
+LabelFn label_by_efficiency(EfficiencyRules rules) {
+  return [rules](const JobSummary& job) {
+    return rules.is_inefficient(job) ? std::string("inefficient")
+                                     : std::string("efficient");
+  };
+}
+
+LabelFn label_by_exit_status() {
+  return [](const JobSummary& job) {
+    return job.exit_code == 0 ? std::string("success")
+                              : std::string("failure");
+  };
+}
+
+ml::Dataset build_unlabeled(std::span<const JobSummary> jobs,
+                            const AttributeSchema& schema) {
+  ml::Dataset ds;
+  ds.feature_names = schema.names();
+  ds.X = build_feature_matrix(jobs, schema);
+  return ds;
+}
+
+ml::Dataset build_regression_dataset(
+    std::span<const JobSummary> jobs, const AttributeSchema& schema,
+    const std::function<double(const JobSummary&)>& target_fn) {
+  XDMODML_CHECK(static_cast<bool>(target_fn), "target_fn required");
+  ml::Dataset ds;
+  ds.feature_names = schema.names();
+  ds.X = build_feature_matrix(jobs, schema);
+  ds.targets.reserve(jobs.size());
+  for (const auto& job : jobs) ds.targets.push_back(target_fn(job));
+  ds.validate();
+  return ds;
+}
+
+}  // namespace xdmodml::supremm

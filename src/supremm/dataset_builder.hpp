@@ -1,0 +1,46 @@
+// Assembly of ml::Dataset objects from batches of SUPReMM job summaries.
+//
+// Every experiment in the paper is "take a pool of job summaries, choose a
+// labelling (application / broad category / efficiency / exit status),
+// extract the attribute schema, train".  This builder centralizes that
+// step so benches and examples share one code path.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "ml/dataset.hpp"
+#include "supremm/efficiency.hpp"
+#include "supremm/job_summary.hpp"
+
+namespace xdmodml::supremm {
+
+/// Maps a job to its class name, or empty string to drop the job.
+using LabelFn = std::function<std::string(const JobSummary&)>;
+
+/// Builds a labeled dataset from jobs via `label_fn`.  Class codes are
+/// assigned in first-seen order unless `class_order` pins them (classes
+/// listed there get the leading codes; unseen listed classes are kept so
+/// train/test datasets share a consistent code space).
+ml::Dataset build_dataset(std::span<const JobSummary> jobs,
+                          const AttributeSchema& schema,
+                          const LabelFn& label_fn,
+                          std::span<const std::string> class_order = {});
+
+/// Label functions for the paper's experiments.
+LabelFn label_by_application();            // §III main experiment
+LabelFn label_by_category();               // §III Table 3
+LabelFn label_by_efficiency(EfficiencyRules rules = {});  // §II
+LabelFn label_by_exit_status();            // §II (exit code == 0 ?)
+
+/// Builds an *unlabeled* feature-only dataset (Uncategorized / NA pools).
+ml::Dataset build_unlabeled(std::span<const JobSummary> jobs,
+                            const AttributeSchema& schema);
+
+/// Builds a regression dataset with targets provided per job.
+ml::Dataset build_regression_dataset(
+    std::span<const JobSummary> jobs, const AttributeSchema& schema,
+    const std::function<double(const JobSummary&)>& target_fn);
+
+}  // namespace xdmodml::supremm

@@ -1,0 +1,57 @@
+#include "supremm/efficiency.hpp"
+
+namespace xdmodml::supremm {
+
+EfficiencyRules::Verdict EfficiencyRules::evaluate(
+    const JobSummary& job) const {
+  Verdict v;
+  v.low_cpu_user = job.mean_of(MetricId::kCpuUser) < min_cpu_user;
+  v.high_cpi = job.mean_of(MetricId::kCpi) > max_cpi;
+  v.high_cpld = job.mean_of(MetricId::kCpld) > max_cpld;
+  v.catastrophe = job.mean_of(MetricId::kCatastrophe) < min_catastrophe;
+  v.imbalance =
+      job.mean_of(MetricId::kCpuUserImbalance) > max_cpu_user_imbalance;
+  v.inefficient = v.low_cpu_user || v.high_cpi || v.high_cpld ||
+                  v.catastrophe || v.imbalance;
+  return v;
+}
+
+bool EfficiencyRules::is_inefficient(const JobSummary& job) const {
+  return evaluate(job).inefficient;
+}
+
+std::optional<bool> EfficiencyRules::clearly_inefficient(
+    const JobSummary& job, double margin) const {
+  // Each rule is in one of three states: clearly firing, clearly not
+  // firing, or ambiguous (within `margin` of its threshold).
+  enum class State { kFires, kClear, kAmbiguous };
+  const auto below = [margin](double value, double threshold) {
+    if (value < threshold * (1.0 - margin)) return State::kFires;
+    if (value > threshold * (1.0 + margin)) return State::kClear;
+    return State::kAmbiguous;
+  };
+  const auto above = [margin](double value, double threshold) {
+    if (value > threshold * (1.0 + margin)) return State::kFires;
+    if (value < threshold * (1.0 - margin)) return State::kClear;
+    return State::kAmbiguous;
+  };
+  const State states[] = {
+      below(job.mean_of(MetricId::kCpuUser), min_cpu_user),
+      above(job.mean_of(MetricId::kCpi), max_cpi),
+      above(job.mean_of(MetricId::kCpld), max_cpld),
+      below(job.mean_of(MetricId::kCatastrophe), min_catastrophe),
+      above(job.mean_of(MetricId::kCpuUserImbalance),
+            max_cpu_user_imbalance),
+  };
+  bool any_fires = false;
+  bool any_ambiguous = false;
+  for (const auto state : states) {
+    if (state == State::kFires) any_fires = true;
+    if (state == State::kAmbiguous) any_ambiguous = true;
+  }
+  if (any_fires) return true;        // some rule clearly violated
+  if (any_ambiguous) return std::nullopt;  // near a threshold: drop
+  return false;                      // clearly efficient on every rule
+}
+
+}  // namespace xdmodml::supremm

@@ -1,0 +1,61 @@
+// The Section-II efficiency labelling rules.
+//
+// The paper manually classified 80,000 jobs as efficient / inefficient to
+// exercise the classifiers on a deliberately separable problem.  The rules
+// quoted are: "< 30% CPU USER; CPI values < 2; CPLD > 0.1, CATASTROPHE ...
+// < 0.2; or CPU USER IMBALANCE ... > 1".
+//
+// Two calibration notes relative to the paper's quoted thresholds:
+//  * CPI: a job is slow when it needs *many* clock ticks per instruction,
+//    so the quoted direction ("CPI < 2") appears to be a typo; we flag
+//    CPI > 2 as inefficient.
+//  * CPLD: the paper's "CPLD > 0.1" implies a unit convention different
+//    from clock-ticks-per-L1D-load as simulated here (typical values
+//    2–8); the default threshold is recalibrated to 6.5 so the rule
+//    separates cache-unfriendly codes, as intended.
+// Every threshold is configurable.
+#pragma once
+
+#include <optional>
+
+#include "supremm/job_summary.hpp"
+
+namespace xdmodml::supremm {
+
+/// Thresholds of the rule set; defaults follow the paper (with the CPI
+/// direction corrected, see the header comment).
+struct EfficiencyRules {
+  double min_cpu_user = 0.30;          ///< below => inefficient
+  double max_cpi = 2.0;                ///< above => inefficient
+  double max_cpld = 6.5;               ///< above => inefficient
+  double min_catastrophe = 0.2;        ///< below => inefficient
+  double max_cpu_user_imbalance = 1.0; ///< above => inefficient
+
+  /// True when the job violates any rule.
+  bool is_inefficient(const JobSummary& job) const;
+
+  /// Which rule(s) fired, for reporting.
+  struct Verdict {
+    bool inefficient = false;
+    bool low_cpu_user = false;
+    bool high_cpi = false;
+    bool high_cpld = false;
+    bool catastrophe = false;
+    bool imbalance = false;
+  };
+  Verdict evaluate(const JobSummary& job) const;
+
+  /// Margin-based labelling: returns the label only when the job is
+  /// *clearly* on one side of every rule (each rule metric at least
+  /// `margin` (relative) away from its threshold), and std::nullopt for
+  /// boundary-ambiguous jobs.  This reproduces the paper's protocol —
+  /// "The data were selected to be completely separable" — under which
+  /// SVM and random forest reach nearly 100%.
+  std::optional<bool> clearly_inefficient(const JobSummary& job,
+                                          double margin) const;
+};
+
+/// Label convention used by the efficiency experiment.
+enum class EfficiencyLabel : int { kEfficient = 0, kInefficient = 1 };
+
+}  // namespace xdmodml::supremm

@@ -1,0 +1,44 @@
+#include "supremm/job_summary.hpp"
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xdmodml::supremm {
+
+std::vector<double> JobSummary::extract(const AttributeSchema& schema) const {
+  std::vector<double> out;
+  out.reserve(schema.size());
+  for (const auto& attr : schema.attributes()) {
+    out.push_back(attr.is_cov ? cov_of(attr.metric) : mean_of(attr.metric));
+  }
+  return out;
+}
+
+void aggregate_nodes(std::span<const NodeSummary> nodes, JobSummary& job) {
+  XDMODML_CHECK(!nodes.empty(), "aggregate_nodes requires node summaries");
+  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+    RunningStats rs;
+    for (const auto& node : nodes) rs.add(node.means[m]);
+    job.means[m] = rs.mean();
+    job.covs[m] = rs.cov();  // 0 for single-node jobs by convention
+  }
+  // Job-level attributes come from accounting, not node counters.
+  job.set_mean(MetricId::kNodes, static_cast<double>(nodes.size()));
+  job.set_cov(MetricId::kNodes, 0.0);
+  job.set_mean(MetricId::kCoresPerNode,
+               static_cast<double>(job.cores_per_node));
+  job.set_cov(MetricId::kCoresPerNode, 0.0);
+  job.nodes = static_cast<std::uint32_t>(nodes.size());
+}
+
+Matrix build_feature_matrix(std::span<const JobSummary> jobs,
+                            const AttributeSchema& schema) {
+  Matrix X(jobs.size(), schema.size());
+  for (std::size_t r = 0; r < jobs.size(); ++r) {
+    const auto features = jobs[r].extract(schema);
+    std::copy(features.begin(), features.end(), X.row(r).begin());
+  }
+  return X;
+}
+
+}  // namespace xdmodml::supremm

@@ -1,0 +1,82 @@
+// Job-level SUPReMM summary records and the node→job aggregation step.
+//
+// The SUPReMM pipeline reduces each job to one record: for every metric,
+// the mean over the job's nodes, and for most metrics also the
+// coefficient of variation (stddev / mean) across nodes.  `aggregate_nodes`
+// performs exactly that reduction from per-node summaries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "supremm/metrics.hpp"
+#include "util/matrix.hpp"
+
+namespace xdmodml::supremm {
+
+/// How the job's application was identified (the paper's three pools).
+enum class LabelSource {
+  kIdentified,     ///< executable path matched a community application
+  kUncategorized,  ///< Lariat captured a path but no known app matched
+  kNotAvailable,   ///< no Lariat data (job not launched via ibrun)
+};
+
+/// Per-node reduction of one job's samples on one node.
+struct NodeSummary {
+  std::string hostname;
+  std::array<double, kNumMetrics> means{};  ///< time-mean of each metric
+};
+
+/// One job's SUPReMM record: accounting info + metric means and COVs.
+struct JobSummary {
+  std::uint64_t job_id = 0;
+
+  // Accounting / Lariat context.
+  std::string executable_path;
+  std::string application;  ///< community-app name, empty when unknown
+  std::string category;     ///< broad application category, empty unknown
+  LabelSource label_source = LabelSource::kNotAvailable;
+  std::uint32_t nodes = 1;
+  std::uint32_t cores_per_node = 16;
+  double wall_seconds = 0.0;
+  /// Job start time, seconds since the monitoring epoch (the warehouse's
+  /// time dimension buckets on this).
+  double start_epoch_seconds = 0.0;
+  int exit_code = 0;
+  bool application_succeeded = true;  ///< ground truth (simulator only)
+
+  // Metric values, indexed by MetricId.
+  std::array<double, kNumMetrics> means{};
+  std::array<double, kNumMetrics> covs{};
+
+  double mean_of(MetricId id) const {
+    return means[static_cast<std::size_t>(id)];
+  }
+  double cov_of(MetricId id) const {
+    return covs[static_cast<std::size_t>(id)];
+  }
+  void set_mean(MetricId id, double v) {
+    means[static_cast<std::size_t>(id)] = v;
+  }
+  void set_cov(MetricId id, double v) {
+    covs[static_cast<std::size_t>(id)] = v;
+  }
+
+  /// Extracts the feature vector for a schema (means and/or COVs).
+  std::vector<double> extract(const AttributeSchema& schema) const;
+};
+
+/// Reduces per-node summaries into the job record's metric means/COVs.
+/// Job-level metrics (NODES, CORES_PER_NODE) are overwritten from the
+/// accounting fields afterwards; single-node jobs get COV 0.
+void aggregate_nodes(std::span<const NodeSummary> nodes, JobSummary& job);
+
+/// Builds the feature matrix for a batch of jobs under a schema.
+Matrix build_feature_matrix(std::span<const JobSummary> jobs,
+                            const AttributeSchema& schema);
+
+}  // namespace xdmodml::supremm

@@ -1,0 +1,155 @@
+#include "supremm/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace xdmodml::supremm {
+
+const std::array<MetricInfo, kNumMetrics>& metric_catalog() {
+  using C = MetricCategory;
+  static const std::array<MetricInfo, kNumMetrics> catalog{{
+      {MetricId::kCpuUser, "CPU_USER", "fraction", C::kCpu,
+       "Fraction of CPU time spent in user mode", true},
+      {MetricId::kCpuSystem, "CPU_SYSTEM", "fraction", C::kCpu,
+       "Fraction of CPU time spent in kernel mode", true},
+      {MetricId::kCpuIdle, "CPU_IDLE", "fraction", C::kCpu,
+       "Fraction of CPU time spent idle", true},
+      {MetricId::kCpi, "CPI", "ratio", C::kCpu,
+       "Average clock ticks per instruction per core", true},
+      {MetricId::kCpld, "CPLD", "ratio", C::kCpu,
+       "Average clock ticks per L1D cache load per core", true},
+      {MetricId::kFlops, "FLOPS", "GF/s", C::kCpu,
+       "Floating point operations per second per core", true},
+      {MetricId::kMemUsed, "MEMORY_USED", "GB", C::kMemory,
+       "Memory used per node, excluding OS buffer cache", true},
+      {MetricId::kMemBandwidth, "MEMORY_TRANSFERRED", "GB/s", C::kMemory,
+       "Memory bandwidth per node", true},
+      {MetricId::kEthTransmit, "ETHERNET_TRANSMIT", "MB/s", C::kNetwork,
+       "Bytes transmitted over the ethernet device per node", true},
+      {MetricId::kEthReceive, "ETHERNET_RECEIVE", "MB/s", C::kNetwork,
+       "Bytes received over the ethernet device per node", true},
+      {MetricId::kIbTransmit, "INFINIBAND_TRANSMIT", "MB/s", C::kNetwork,
+       "Bytes transmitted over the InfiniBand device per node", true},
+      {MetricId::kIbReceive, "INFINIBAND_RECEIVE", "MB/s", C::kNetwork,
+       "Bytes received over the InfiniBand device per node", true},
+      {MetricId::kHomeRead, "HOME_READ", "MB/s", C::kIo,
+       "Bytes per node read from the home directory filesystem", true},
+      {MetricId::kHomeWrite, "HOME_WRITE", "MB/s", C::kIo,
+       "Bytes per node written to the home directory filesystem", true},
+      {MetricId::kScratchRead, "SCRATCH_READ", "MB/s", C::kIo,
+       "Bytes per node read from the scratch filesystem", true},
+      {MetricId::kScratchWrite, "SCRATCH_WRITE", "MB/s", C::kIo,
+       "Bytes per node written to the scratch filesystem", true},
+      {MetricId::kLustreTransmit, "LUSTRE_TRANSMIT", "MB/s", C::kIo,
+       "Data transmitted by the Lustre filesystem driver per node", true},
+      {MetricId::kLustreReceive, "LUSTRE_RECEIVE", "MB/s", C::kIo,
+       "Data received by the Lustre filesystem driver per node", true},
+      {MetricId::kDiskReadBytes, "LOCAL_DISK_READ_BYTES", "MB/s", C::kIo,
+       "Local disk reads in bytes per second", true},
+      {MetricId::kDiskWriteBytes, "LOCAL_DISK_WRITE_BYTES", "MB/s", C::kIo,
+       "Local disk writes in bytes per second", true},
+      {MetricId::kDiskReadIops, "LOCAL_DISK_READ_IOS", "IO/s", C::kIo,
+       "Local disk read operations per second", true},
+      {MetricId::kDiskWriteIops, "LOCAL_DISK_WRITE_IOS", "IO/s", C::kIo,
+       "Local disk write operations per second", true},
+      {MetricId::kCatastrophe, "CATASTROPHE", "ratio", C::kCpu,
+       "Minimum block ratio of CPLD over the job; a low value indicates a "
+       "shutdown of CPU activity partway through the job",
+       false},
+      {MetricId::kCpuUserImbalance, "CPU_USER_IMBALANCE", "ratio", C::kCpu,
+       "Spread of per-core CPU user fractions; high values indicate some "
+       "CPUs are not being used",
+       false},
+      {MetricId::kNodes, "NODES", "count", C::kJob,
+       "Number of nodes on which the job was executed", false},
+      {MetricId::kCoresPerNode, "CORES_PER_NODE", "count", C::kJob,
+       "Cores per node on the executing resource", false},
+  }};
+  return catalog;
+}
+
+const MetricInfo& metric_info(MetricId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  XDMODML_CHECK(idx < kNumMetrics, "metric id out of range");
+  return metric_catalog()[idx];
+}
+
+std::string metric_name(MetricId id) { return metric_info(id).name; }
+
+const char* category_name(MetricCategory category) {
+  switch (category) {
+    case MetricCategory::kCpu:
+      return "CPU";
+    case MetricCategory::kMemory:
+      return "Memory";
+    case MetricCategory::kNetwork:
+      return "Network";
+    case MetricCategory::kIo:
+      return "IO";
+    case MetricCategory::kJob:
+      return "Job";
+  }
+  return "?";
+}
+
+std::string Attribute::name() const {
+  std::string n = metric_name(metric);
+  if (is_cov) n += "_COV";
+  return n;
+}
+
+AttributeSchema::AttributeSchema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  XDMODML_CHECK(!attributes_.empty(), "schema requires attributes");
+  for (const auto& a : attributes_) {
+    XDMODML_CHECK(!a.is_cov || metric_info(a.metric).has_cov,
+                  "metric has no COV attribute: " + metric_name(a.metric));
+  }
+}
+
+AttributeSchema AttributeSchema::full() {
+  std::vector<Attribute> attrs;
+  for (const auto& info : metric_catalog()) {
+    attrs.push_back({info.id, false});
+  }
+  for (const auto& info : metric_catalog()) {
+    if (info.has_cov) attrs.push_back({info.id, true});
+  }
+  return AttributeSchema(std::move(attrs));
+}
+
+std::vector<std::string> AttributeSchema::names() const {
+  std::vector<std::string> out;
+  out.reserve(attributes_.size());
+  for (const auto& a : attributes_) out.push_back(a.name());
+  return out;
+}
+
+AttributeSchema AttributeSchema::select(
+    std::span<const std::size_t> indices) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(indices.size());
+  for (const auto i : indices) {
+    XDMODML_CHECK(i < attributes_.size(), "schema index out of range");
+    attrs.push_back(attributes_[i]);
+  }
+  return AttributeSchema(std::move(attrs));
+}
+
+AttributeSchema AttributeSchema::without_cov() const {
+  std::vector<Attribute> attrs;
+  for (const auto& a : attributes_) {
+    if (!a.is_cov) attrs.push_back(a);
+  }
+  return AttributeSchema(std::move(attrs));
+}
+
+std::size_t AttributeSchema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name() == name) return i;
+  }
+  throw InvalidArgument("attribute not in schema: " + name);
+}
+
+}  // namespace xdmodml::supremm

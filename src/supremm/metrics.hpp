@@ -1,0 +1,118 @@
+// The SUPReMM metric catalogue (paper Table 1).
+//
+// SUPReMM summarises each job by a set of node-averaged performance
+// metrics; for most metrics a second attribute records the coefficient of
+// variation (COV) of the metric across the job's nodes — the "...COV"
+// attributes of Table 1, which the paper found to carry real signal
+// ("attributes that looked at the variation in the recorded metrics ...
+// made a real contribution").
+//
+// The catalogue below defines 26 base metrics; 22 of them also expose a
+// COV attribute, giving 48 model attributes in total.  (The paper's
+// Figure 6 sweeps "from 43 to 1" attributes after first dropping five
+// highly correlated ones, which matches this inventory.)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xdmodml::supremm {
+
+/// Identifier of a base SUPReMM metric.  Order is the storage order of
+/// JobSummary values and of the mean-attribute block.
+enum class MetricId : std::size_t {
+  kCpuUser = 0,       ///< fraction of CPU time in user mode
+  kCpuSystem,         ///< fraction of CPU time in kernel mode
+  kCpuIdle,           ///< fraction of CPU time idle
+  kCpi,               ///< clock ticks per instruction
+  kCpld,              ///< clock ticks per L1D cache load
+  kFlops,             ///< floating point operations per second per core
+  kMemUsed,           ///< memory used per node (GB)
+  kMemBandwidth,      ///< memory bandwidth (GB/s per node)
+  kEthTransmit,       ///< ethernet bytes transmitted per second per node
+  kEthReceive,        ///< ethernet bytes received per second per node
+  kIbTransmit,        ///< InfiniBand bytes transmitted per second per node
+  kIbReceive,         ///< InfiniBand bytes received per second per node
+  kHomeRead,          ///< bytes/s read from $HOME filesystem per node
+  kHomeWrite,         ///< bytes/s written to $HOME filesystem per node
+  kScratchRead,       ///< bytes/s read from scratch filesystem per node
+  kScratchWrite,      ///< bytes/s written to scratch filesystem per node
+  kLustreTransmit,    ///< Lustre driver bytes transmitted per second
+  kLustreReceive,     ///< Lustre driver bytes received per second
+  kDiskReadBytes,     ///< local disk read bytes per second
+  kDiskWriteBytes,    ///< local disk write bytes per second
+  kDiskReadIops,      ///< local disk read operations per second
+  kDiskWriteIops,     ///< local disk write operations per second
+  kCatastrophe,       ///< min block-ratio of CPLD over job (low = collapse)
+  kCpuUserImbalance,  ///< spread of per-core CPU user fractions
+  kNodes,             ///< number of nodes
+  kCoresPerNode,      ///< cores per node
+  kCount              ///< sentinel
+};
+
+inline constexpr std::size_t kNumMetrics =
+    static_cast<std::size_t>(MetricId::kCount);
+
+/// Broad category a metric belongs to (used in importance analyses: the
+/// paper observes CPU/memory dominate, IO contributes, network does not).
+enum class MetricCategory { kCpu, kMemory, kNetwork, kIo, kJob };
+
+/// Static description of one catalogue entry.
+struct MetricInfo {
+  MetricId id;
+  const char* name;         ///< canonical attribute name, e.g. "CPU_USER"
+  const char* unit;
+  MetricCategory category;
+  const char* description;
+  bool has_cov;             ///< whether a ...COV attribute exists
+};
+
+/// Full catalogue, indexed by MetricId.
+const std::array<MetricInfo, kNumMetrics>& metric_catalog();
+
+/// Lookup helpers.
+const MetricInfo& metric_info(MetricId id);
+std::string metric_name(MetricId id);
+const char* category_name(MetricCategory category);
+
+/// One model attribute: either the node-mean of a metric or its
+/// across-node COV.
+struct Attribute {
+  MetricId metric;
+  bool is_cov = false;
+
+  std::string name() const;
+  bool operator==(const Attribute&) const = default;
+};
+
+/// The ordered attribute schema used to build feature matrices:
+/// all metric means first (in MetricId order), then all COV attributes.
+class AttributeSchema {
+ public:
+  /// Full 48-attribute schema.
+  static AttributeSchema full();
+
+  /// Schema over an explicit attribute list.
+  explicit AttributeSchema(std::vector<Attribute> attributes);
+
+  std::size_t size() const { return attributes_.size(); }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  std::vector<std::string> names() const;
+
+  /// Returns a schema restricted to the attributes at `indices`.
+  AttributeSchema select(std::span<const std::size_t> indices) const;
+
+  /// Returns a schema without any COV attributes (ablation arm).
+  AttributeSchema without_cov() const;
+
+  /// Index of a named attribute; throws when absent.
+  std::size_t index_of(const std::string& name) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace xdmodml::supremm

@@ -1,0 +1,125 @@
+#include "supremm/summary_io.hpp"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace xdmodml::supremm {
+
+namespace {
+
+const char* label_source_name(LabelSource source) {
+  switch (source) {
+    case LabelSource::kIdentified:
+      return "identified";
+    case LabelSource::kUncategorized:
+      return "uncategorized";
+    case LabelSource::kNotAvailable:
+      return "na";
+  }
+  return "?";
+}
+
+LabelSource parse_label_source(const std::string& text) {
+  if (text == "identified") return LabelSource::kIdentified;
+  if (text == "uncategorized") return LabelSource::kUncategorized;
+  if (text == "na") return LabelSource::kNotAvailable;
+  throw InvalidArgument("unknown label source: " + text);
+}
+
+std::string format_field(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+double parse_double(const std::string& text) {
+  // std::from_chars<double> is not reliably available pre-GCC 11 for
+  // doubles; stod with full-consumption validation is sufficient here.
+  std::size_t consumed = 0;
+  const double v = std::stod(text, &consumed);
+  XDMODML_CHECK(consumed == text.size(), "bad numeric field: " + text);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::string> jobs_csv_header() {
+  std::vector<std::string> header{
+      "job_id",     "executable_path", "application",
+      "category",   "label_source",    "nodes",
+      "cores_per_node", "wall_seconds", "start_epoch_seconds",
+      "exit_code",
+      "application_succeeded"};
+  for (const auto& info : metric_catalog()) {
+    header.push_back(info.name);
+  }
+  for (const auto& info : metric_catalog()) {
+    if (info.has_cov) header.push_back(std::string(info.name) + "_COV");
+  }
+  return header;
+}
+
+void write_jobs_csv(std::ostream& out, std::span<const JobSummary> jobs) {
+  CsvWriter writer(out);
+  writer.write_row(jobs_csv_header());
+  for (const auto& job : jobs) {
+    std::vector<std::string> row{
+        std::to_string(job.job_id),
+        job.executable_path,
+        job.application,
+        job.category,
+        label_source_name(job.label_source),
+        std::to_string(job.nodes),
+        std::to_string(job.cores_per_node),
+        format_field(job.wall_seconds),
+        format_field(job.start_epoch_seconds),
+        std::to_string(job.exit_code),
+        job.application_succeeded ? "1" : "0"};
+    for (const auto& info : metric_catalog()) {
+      row.push_back(format_field(job.mean_of(info.id)));
+    }
+    for (const auto& info : metric_catalog()) {
+      if (info.has_cov) row.push_back(format_field(job.cov_of(info.id)));
+    }
+    writer.write_row(row);
+  }
+}
+
+std::vector<JobSummary> read_jobs_csv(std::istream& in) {
+  const auto doc = parse_csv(in);
+  const auto expected = jobs_csv_header();
+  XDMODML_CHECK(doc.header == expected,
+                "job CSV header does not match the interchange format");
+  std::vector<JobSummary> jobs;
+  jobs.reserve(doc.rows.size());
+  for (const auto& row : doc.rows) {
+    JobSummary job;
+    std::size_t c = 0;
+    job.job_id = static_cast<std::uint64_t>(parse_double(row[c++]));
+    job.executable_path = row[c++];
+    job.application = row[c++];
+    job.category = row[c++];
+    job.label_source = parse_label_source(row[c++]);
+    job.nodes = static_cast<std::uint32_t>(parse_double(row[c++]));
+    job.cores_per_node = static_cast<std::uint32_t>(parse_double(row[c++]));
+    job.wall_seconds = parse_double(row[c++]);
+    job.start_epoch_seconds = parse_double(row[c++]);
+    job.exit_code = static_cast<int>(parse_double(row[c++]));
+    job.application_succeeded = row[c++] == "1";
+    for (const auto& info : metric_catalog()) {
+      job.set_mean(info.id, parse_double(row[c++]));
+    }
+    for (const auto& info : metric_catalog()) {
+      if (info.has_cov) job.set_cov(info.id, parse_double(row[c++]));
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace xdmodml::supremm

@@ -1,0 +1,346 @@
+#include "taccstats/aggregator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xdmodml::taccstats {
+
+namespace {
+
+using supremm::MetricId;
+
+double safe_ratio(double num, double den) {
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double delta_of(const RawSample& older, const RawSample& newer,
+                CounterId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  return static_cast<double>(
+      counter_delta(id, older.counters[idx], newer.counters[idx]));
+}
+
+/// Fills one node's metric means from its snapshot stream.
+supremm::NodeSummary summarize_node(std::span<const RawSample> samples,
+                                    const CollectorConfig& config,
+                                    NodeTimeSeries& series) {
+  XDMODML_CHECK(samples.size() >= 2,
+                "node stream needs at least prolog and epilog");
+  const RawSample& first = samples.front();
+  const RawSample& last = samples.back();
+  const double duration = last.timestamp - first.timestamp;
+  XDMODML_CHECK(duration > 0.0, "job duration must be positive");
+  const auto cores = static_cast<double>(config.cores_per_node);
+
+  supremm::NodeSummary node;
+
+  // Whole-job counter deltas.
+  std::array<double, kNumCounters> delta{};
+  for (std::size_t c = 0; c < kNumCounters; ++c) {
+    delta[c] = delta_of(first, last, static_cast<CounterId>(c));
+  }
+  const auto d = [&](CounterId id) {
+    return delta[static_cast<std::size_t>(id)];
+  };
+
+  // CPU fractions from tick deltas.
+  const double total_ticks = d(CounterId::kCpuUserTicks) +
+                             d(CounterId::kCpuSystemTicks) +
+                             d(CounterId::kCpuIdleTicks);
+  node.means[static_cast<std::size_t>(MetricId::kCpuUser)] =
+      safe_ratio(d(CounterId::kCpuUserTicks), total_ticks);
+  node.means[static_cast<std::size_t>(MetricId::kCpuSystem)] =
+      safe_ratio(d(CounterId::kCpuSystemTicks), total_ticks);
+  node.means[static_cast<std::size_t>(MetricId::kCpuIdle)] =
+      safe_ratio(d(CounterId::kCpuIdleTicks), total_ticks);
+
+  // Derived micro-architecture ratios.
+  node.means[static_cast<std::size_t>(MetricId::kCpi)] =
+      safe_ratio(d(CounterId::kClockCycles), d(CounterId::kInstructions));
+  node.means[static_cast<std::size_t>(MetricId::kCpld)] =
+      safe_ratio(d(CounterId::kClockCycles), d(CounterId::kL1dLoads));
+  node.means[static_cast<std::size_t>(MetricId::kFlops)] =
+      d(CounterId::kFlops) / duration / cores / 1e9;  // GF/s/core
+
+  // Memory.
+  {
+    RunningStats gauge;
+    for (std::size_t s = 1; s < samples.size(); ++s) {
+      gauge.add(samples[s].mem_used_gb);  // skip the pre-job prolog gauge
+    }
+    node.means[static_cast<std::size_t>(MetricId::kMemUsed)] = gauge.mean();
+  }
+  node.means[static_cast<std::size_t>(MetricId::kMemBandwidth)] =
+      d(CounterId::kMemTransferBytes) / duration / 1e9;  // GB/s
+
+  // Rate metrics in MB/s and IO/s.
+  const auto mbps = [&](CounterId id) { return d(id) / duration / 1e6; };
+  node.means[static_cast<std::size_t>(MetricId::kEthTransmit)] =
+      mbps(CounterId::kEthTxBytes);
+  node.means[static_cast<std::size_t>(MetricId::kEthReceive)] =
+      mbps(CounterId::kEthRxBytes);
+  node.means[static_cast<std::size_t>(MetricId::kIbTransmit)] =
+      mbps(CounterId::kIbTxBytes);
+  node.means[static_cast<std::size_t>(MetricId::kIbReceive)] =
+      mbps(CounterId::kIbRxBytes);
+  node.means[static_cast<std::size_t>(MetricId::kHomeRead)] =
+      mbps(CounterId::kHomeReadBytes);
+  node.means[static_cast<std::size_t>(MetricId::kHomeWrite)] =
+      mbps(CounterId::kHomeWriteBytes);
+  node.means[static_cast<std::size_t>(MetricId::kScratchRead)] =
+      mbps(CounterId::kScratchReadBytes);
+  node.means[static_cast<std::size_t>(MetricId::kScratchWrite)] =
+      mbps(CounterId::kScratchWriteBytes);
+  node.means[static_cast<std::size_t>(MetricId::kLustreTransmit)] =
+      mbps(CounterId::kLustreTxBytes);
+  node.means[static_cast<std::size_t>(MetricId::kLustreReceive)] =
+      mbps(CounterId::kLustreRxBytes);
+  node.means[static_cast<std::size_t>(MetricId::kDiskReadBytes)] =
+      mbps(CounterId::kDiskReadBytes);
+  node.means[static_cast<std::size_t>(MetricId::kDiskWriteBytes)] =
+      mbps(CounterId::kDiskWriteBytes);
+  node.means[static_cast<std::size_t>(MetricId::kDiskReadIops)] =
+      d(CounterId::kDiskReadOps) / duration;
+  node.means[static_cast<std::size_t>(MetricId::kDiskWriteIops)] =
+      d(CounterId::kDiskWriteOps) / duration;
+
+  // Per-interval series (for catastrophe and the time features).
+  const std::size_t intervals = samples.size() - 1;
+  series.midpoints.resize(intervals);
+  series.interval_rates = Matrix(intervals, kNumCounters);
+  series.mem_gauge_gb.resize(intervals);
+  for (std::size_t i = 0; i < intervals; ++i) {
+    const RawSample& a = samples[i];
+    const RawSample& b = samples[i + 1];
+    const double dt = b.timestamp - a.timestamp;
+    XDMODML_CHECK(dt > 0.0, "non-monotone sample timestamps");
+    series.midpoints[i] = 0.5 * (a.timestamp + b.timestamp);
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+      series.interval_rates(i, c) =
+          delta_of(a, b, static_cast<CounterId>(c)) / dt;
+    }
+    series.mem_gauge_gb[i] = b.mem_used_gb;
+  }
+
+  // CATASTROPHE: min/max ratio of the per-interval instruction rate —
+  // near 1 for steady work, near 0 when CPU activity collapses partway.
+  {
+    double lo = 0.0;
+    double hi = 0.0;
+    const auto instr = static_cast<std::size_t>(CounterId::kInstructions);
+    for (std::size_t i = 0; i < intervals; ++i) {
+      const double r = series.interval_rates(i, instr);
+      if (i == 0) {
+        lo = hi = r;
+      } else {
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+      }
+    }
+    node.means[static_cast<std::size_t>(MetricId::kCatastrophe)] =
+        hi > 0.0 ? lo / hi : 1.0;
+  }
+
+  // CPU USER IMBALANCE: (max − min) / mean of per-core user fractions.
+  {
+    const std::size_t n_cores = first.core_user_ticks.size();
+    XDMODML_CHECK(n_cores == config.cores_per_node,
+                  "core tick width mismatch");
+    RunningStats frac;
+    for (std::size_t core = 0; core < n_cores; ++core) {
+      const double ticks = static_cast<double>(last.core_user_ticks[core] -
+                                               first.core_user_ticks[core]);
+      frac.add(ticks / (config.ticks_per_second * duration));
+    }
+    const double imbalance =
+        frac.mean() > 0.0 ? (frac.max() - frac.min()) / frac.mean() : 0.0;
+    node.means[static_cast<std::size_t>(MetricId::kCpuUserImbalance)] =
+        imbalance;
+  }
+
+  // NODES / CORES_PER_NODE are overwritten by supremm::aggregate_nodes.
+  node.means[static_cast<std::size_t>(MetricId::kNodes)] = 1.0;
+  node.means[static_cast<std::size_t>(MetricId::kCoresPerNode)] = cores;
+  return node;
+}
+
+}  // namespace
+
+AggregationResult aggregate_job(
+    std::span<const std::vector<RawSample>> node_samples,
+    const CollectorConfig& config) {
+  XDMODML_CHECK(!node_samples.empty(), "job must have at least one node");
+  AggregationResult result;
+  result.node_summaries.reserve(node_samples.size());
+  result.time_series.resize(node_samples.size());
+  for (std::size_t n = 0; n < node_samples.size(); ++n) {
+    result.node_summaries.push_back(
+        summarize_node(node_samples[n], config, result.time_series[n]));
+    // snprintf instead of string concatenation: GCC 12's -Wrestrict
+    // false positive (PR105329) fires on the string operator+ forms.
+    char hostname[24];
+    std::snprintf(hostname, sizeof(hostname), "c%zu", n);
+    result.node_summaries.back().hostname = hostname;
+  }
+  result.job.cores_per_node = config.cores_per_node;
+  result.job.wall_seconds = node_samples.front().back().timestamp;
+  supremm::aggregate_nodes(result.node_summaries, result.job);
+  return result;
+}
+
+namespace {
+
+/// Derived metrics evaluated per time segment.  The ratio metrics (CPI,
+/// CPLD) are the strongest components of the application signature, so
+/// their per-segment values are what makes time-dependent models
+/// "approximately as good as the models using mean attributes" (§IV).
+struct SegmentMetric {
+  const char* name;
+  bool log_scale;  ///< log1p-compress wide-range rate metrics
+  double (*eval)(const std::array<double, kNumCounters>& rates);
+};
+
+double rate_of(const std::array<double, kNumCounters>& rates, CounterId id) {
+  return rates[static_cast<std::size_t>(id)];
+}
+
+constexpr std::array<SegmentMetric, 7> kSegmentMetrics{{
+    {"cpi", false,
+     [](const std::array<double, kNumCounters>& r) {
+       const double instr = rate_of(r, CounterId::kInstructions);
+       return instr > 0.0 ? rate_of(r, CounterId::kClockCycles) / instr : 0.0;
+     }},
+    {"cpld", false,
+     [](const std::array<double, kNumCounters>& r) {
+       const double loads = rate_of(r, CounterId::kL1dLoads);
+       return loads > 0.0 ? rate_of(r, CounterId::kClockCycles) / loads : 0.0;
+     }},
+    {"flops", true,
+     [](const std::array<double, kNumCounters>& r) {
+       return rate_of(r, CounterId::kFlops);
+     }},
+    {"mem_bw", true,
+     [](const std::array<double, kNumCounters>& r) {
+       return rate_of(r, CounterId::kMemTransferBytes);
+     }},
+    {"ib_rx", true,
+     [](const std::array<double, kNumCounters>& r) {
+       return rate_of(r, CounterId::kIbRxBytes);
+     }},
+    {"lustre_tx", true,
+     [](const std::array<double, kNumCounters>& r) {
+       return rate_of(r, CounterId::kLustreTxBytes);
+     }},
+    {"scratch_write", true,
+     [](const std::array<double, kNumCounters>& r) {
+       return rate_of(r, CounterId::kScratchWriteBytes);
+     }},
+}};
+
+/// Counters whose temporal *shape* statistics are emitted.
+constexpr std::array<CounterId, 6> kShapeCounters{
+    CounterId::kInstructions,   CounterId::kFlops,
+    CounterId::kLustreTxBytes,  CounterId::kIbRxBytes,
+    CounterId::kScratchWriteBytes, CounterId::kMemTransferBytes,
+};
+
+}  // namespace
+
+std::vector<std::string> time_feature_names(const TimeFeatureConfig& config) {
+  std::vector<std::string> names;
+  if (config.include_raw_segments) {
+    for (const auto& metric : kSegmentMetrics) {
+      for (std::size_t s = 0; s < config.segments; ++s) {
+        names.push_back(std::string(metric.name) + "_seg" +
+                        std::to_string(s));
+      }
+    }
+    for (std::size_t s = 0; s < config.segments; ++s) {
+      names.push_back("mem_used_seg" + std::to_string(s));
+    }
+  }
+  if (config.include_shape_stats) {
+    for (const auto counter : kShapeCounters) {
+      const std::string base = counter_name(counter);
+      names.push_back(base + "_tcov");
+      names.push_back(base + "_burst");
+      names.push_back(base + "_trend");
+    }
+  }
+  return names;
+}
+
+std::vector<double> extract_time_features(const AggregationResult& result,
+                                          const TimeFeatureConfig& config) {
+  XDMODML_CHECK(config.segments > 0, "need at least one segment");
+  XDMODML_CHECK(config.include_raw_segments || config.include_shape_stats,
+                "time feature config selects nothing");
+  XDMODML_CHECK(!result.time_series.empty(), "no time series");
+  const double duration = result.job.wall_seconds;
+  XDMODML_CHECK(duration > 0.0, "job duration must be positive");
+
+  // Aggregate counter rates per segment across all nodes and intervals.
+  std::vector<std::array<double, kNumCounters>> segment_rates(
+      config.segments);
+  std::vector<double> segment_gauge(config.segments, 0.0);
+  std::vector<std::size_t> segment_samples(config.segments, 0);
+  for (auto& rates : segment_rates) rates.fill(0.0);
+  for (const auto& series : result.time_series) {
+    for (std::size_t i = 0; i < series.midpoints.size(); ++i) {
+      auto seg = static_cast<std::size_t>(
+          series.midpoints[i] / duration *
+          static_cast<double>(config.segments));
+      seg = std::min(seg, config.segments - 1);
+      for (std::size_t c = 0; c < kNumCounters; ++c) {
+        segment_rates[seg][c] += series.interval_rates(i, c);
+      }
+      segment_gauge[seg] += series.mem_gauge_gb[i];
+      ++segment_samples[seg];
+    }
+  }
+  for (std::size_t s = 0; s < config.segments; ++s) {
+    if (segment_samples[s] == 0) continue;
+    for (auto& v : segment_rates[s]) {
+      v /= static_cast<double>(segment_samples[s]);
+    }
+    segment_gauge[s] /= static_cast<double>(segment_samples[s]);
+  }
+
+  std::vector<double> features;
+  if (config.include_raw_segments) {
+    for (const auto& metric : kSegmentMetrics) {
+      for (std::size_t s = 0; s < config.segments; ++s) {
+        const double v = metric.eval(segment_rates[s]);
+        features.push_back(metric.log_scale ? std::log1p(v) : v);
+      }
+    }
+    for (std::size_t s = 0; s < config.segments; ++s) {
+      features.push_back(segment_gauge[s]);
+    }
+  }
+  if (config.include_shape_stats) {
+    for (const auto counter : kShapeCounters) {
+      const auto c = static_cast<std::size_t>(counter);
+      RunningStats seg_means;
+      double max_seg = 0.0;
+      for (std::size_t s = 0; s < config.segments; ++s) {
+        if (segment_samples[s] == 0) continue;
+        seg_means.add(segment_rates[s][c]);
+        max_seg = std::max(max_seg, segment_rates[s][c]);
+      }
+      const double mean_rate = seg_means.mean();
+      const double first = segment_rates.front()[c];
+      const double last = segment_rates.back()[c];
+      features.push_back(seg_means.cov());
+      features.push_back(mean_rate > 0.0 ? max_seg / mean_rate : 0.0);
+      features.push_back(first > 0.0 ? last / first : 0.0);
+    }
+  }
+  return features;
+}
+
+}  // namespace xdmodml::taccstats

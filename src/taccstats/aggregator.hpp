@@ -1,0 +1,63 @@
+// Job-centric aggregation of raw collector samples — the SUPReMM
+// summarization step.
+//
+// Input: the snapshot stream of every node of one job.  Output: per-node
+// metric means (rates recovered by differencing cumulative counters, with
+// rollover correction), the job-level SUPReMM summary (node means + COVs
+// via supremm::aggregate_nodes), and the per-interval time series that
+// power the paper's Section-IV time-dependent-attribute experiments.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "supremm/job_summary.hpp"
+#include "taccstats/collector.hpp"
+#include "util/matrix.hpp"
+
+namespace xdmodml::taccstats {
+
+/// Per-node, per-interval recovered rates.
+struct NodeTimeSeries {
+  std::vector<double> midpoints;  ///< interval midpoints (seconds)
+  Matrix interval_rates;          ///< intervals x kNumCounters (per second)
+  std::vector<double> mem_gauge_gb;  ///< gauge at each interval end
+};
+
+/// Everything recovered from one job's raw samples.
+struct AggregationResult {
+  std::vector<supremm::NodeSummary> node_summaries;
+  supremm::JobSummary job;  ///< metric means/COVs filled; accounting fields
+                            ///< (ids, labels, exit code) are the caller's
+  std::vector<NodeTimeSeries> time_series;  ///< parallel to node_summaries
+};
+
+/// Aggregates the sample streams of all nodes of one job.
+/// Each stream must contain >= 2 samples (prolog + epilog).
+AggregationResult aggregate_job(
+    std::span<const std::vector<RawSample>> node_samples,
+    const CollectorConfig& config);
+
+/// Time-dependent attribute extraction (paper §IV).  For a fixed set of
+/// counters, the job's duration is split into `segments` equal parts and
+/// each counter contributes:
+///   * the raw mean rate per segment, log1p-scaled (these carry the
+///     mean-level signal, so time-attribute models classify
+///     "approximately as good as the models using mean attributes");
+///   * three *normalized* shape statistics — temporal COV, burst ratio
+///     (max segment / mean) and trend (last/first segment ratio) — which
+///     are dimensionless and therefore the part of the signature that
+///     survives a platform change (§IV cross-platform study).
+struct TimeFeatureConfig {
+  std::size_t segments = 4;
+  bool include_raw_segments = true;   ///< log1p raw rates per segment
+  bool include_shape_stats = true;    ///< COV / burst / trend per counter
+};
+
+std::vector<std::string> time_feature_names(const TimeFeatureConfig& config);
+
+std::vector<double> extract_time_features(const AggregationResult& result,
+                                          const TimeFeatureConfig& config);
+
+}  // namespace xdmodml::taccstats

@@ -1,0 +1,114 @@
+#include "taccstats/collector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xdmodml::taccstats {
+
+namespace {
+
+/// Adds `amount` to a counter, wrapping at its declared width.
+void bump(CounterArray& counters, CounterId id, double amount) {
+  const auto idx = static_cast<std::size_t>(id);
+  const unsigned bits = counter_bits(id);
+  const auto add = static_cast<std::uint64_t>(std::max(0.0, amount));
+  if (bits >= 64) {
+    counters[idx] += add;
+  } else {
+    const std::uint64_t modulus = std::uint64_t{1} << bits;
+    counters[idx] = (counters[idx] + add) & (modulus - 1);
+  }
+}
+
+}  // namespace
+
+std::vector<RawSample> collect_node(const NodeRateModel& model,
+                                    std::size_t node_index,
+                                    double wall_seconds,
+                                    const CollectorConfig& config, Rng& rng) {
+  XDMODML_CHECK(static_cast<bool>(model), "collector requires a rate model");
+  XDMODML_CHECK(wall_seconds > 0.0, "job must have positive wall time");
+  XDMODML_CHECK(config.interval_seconds > 0.0,
+                "collection interval must be positive");
+  XDMODML_CHECK(config.cores_per_node > 0, "node must have cores");
+
+  // Counters count since boot: start from random offsets so any consumer
+  // that forgets to difference produces garbage rather than accidentally
+  // working.  Width-limited counters start within their modulus.
+  CounterArray counters{};
+  for (std::size_t c = 0; c < kNumCounters; ++c) {
+    const auto id = static_cast<CounterId>(c);
+    const unsigned bits = counter_bits(id);
+    if (bits >= 64) {
+      counters[c] = rng.uniform_index(std::uint64_t{1} << 40);
+    } else {
+      counters[c] = rng.uniform_index(std::uint64_t{1} << bits);
+    }
+  }
+  std::vector<std::uint64_t> core_ticks(config.cores_per_node);
+  for (auto& t : core_ticks) t = rng.uniform_index(std::uint64_t{1} << 32);
+
+  std::vector<RawSample> samples;
+  const auto emit = [&](double timestamp, double mem_gauge) {
+    RawSample s;
+    s.timestamp = timestamp;
+    s.counters = counters;
+    s.core_user_ticks = core_ticks;
+    s.mem_used_gb = mem_gauge;
+    samples.push_back(std::move(s));
+  };
+
+  // Prolog snapshot.  The gauge before the job starts is near zero.
+  emit(0.0, 0.5);
+
+  double t = 0.0;
+  std::size_t interval = 0;
+  while (t < wall_seconds) {
+    const double dt = std::min(config.interval_seconds, wall_seconds - t);
+    const NodeInterval truth = model(node_index, interval);
+    XDMODML_CHECK(truth.core_user_fraction.size() == config.cores_per_node,
+                  "rate model core count must match the collector config");
+
+    // Integrate counters over the interval with multiplicative noise.
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+      const auto id = static_cast<CounterId>(c);
+      double amount = truth.rates[c] * dt;
+      if (config.counter_noise > 0.0 && amount > 0.0) {
+        amount *= std::max(0.0, rng.normal(1.0, config.counter_noise));
+      }
+      bump(counters, id, amount);
+    }
+
+    // CPU tick accounting: per-core user ticks from the core fractions;
+    // node totals derive from the same fractions so they stay consistent.
+    double user_fraction_sum = 0.0;
+    for (std::uint32_t core = 0; core < config.cores_per_node; ++core) {
+      const double frac =
+          std::clamp(truth.core_user_fraction[core], 0.0, 1.0);
+      user_fraction_sum += frac;
+      core_ticks[core] += static_cast<std::uint64_t>(
+          frac * config.ticks_per_second * dt + 0.5);
+    }
+    const double total_ticks = config.ticks_per_second * dt *
+                               static_cast<double>(config.cores_per_node);
+    const double user_ticks = user_fraction_sum * config.ticks_per_second * dt;
+    const double rest = std::max(0.0, total_ticks - user_ticks);
+    const double sys_frac = std::clamp(truth.system_fraction_of_rest, 0.0, 1.0);
+    bump(counters, CounterId::kCpuUserTicks, user_ticks);
+    bump(counters, CounterId::kCpuSystemTicks, rest * sys_frac);
+    bump(counters, CounterId::kCpuIdleTicks, rest * (1.0 - sys_frac));
+
+    t += dt;
+    ++interval;
+    double gauge = truth.mem_used_gb;
+    if (config.counter_noise > 0.0) {
+      gauge *= std::max(0.0, rng.normal(1.0, config.counter_noise));
+    }
+    emit(t, gauge);  // cron snapshot (or epilog when t == wall_seconds)
+  }
+  return samples;
+}
+
+}  // namespace xdmodml::taccstats

@@ -1,0 +1,66 @@
+// The simulated TACC_Stats node collector.
+//
+// A collector runs on every compute node of a job: it takes a snapshot at
+// job start (batch prolog), every `interval_seconds` thereafter (cron,
+// 10 minutes by default), and one final snapshot at job end (epilog).
+// Between snapshots the node's "true" activity is supplied by a
+// `NodeRateModel` — per-interval counter rates, per-core user-mode
+// fractions and the memory-used gauge — which the workload layer provides
+// from the application signature being simulated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "taccstats/counters.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml::taccstats {
+
+/// Ground-truth node activity during one collection interval.
+struct NodeInterval {
+  /// Counter *rates* per second, indexed by CounterId.
+  std::array<double, kNumCounters> rates{};
+  /// Per-core user-mode fraction in [0, 1]; size = cores per node.
+  std::vector<double> core_user_fraction;
+  /// Fraction of non-user CPU time that is kernel (vs idle), in [0, 1].
+  double system_fraction_of_rest = 0.1;
+  /// Instantaneous memory-used gauge (GB per node).
+  double mem_used_gb = 0.0;
+};
+
+/// Supplies the ground truth for (node, interval).  Must be pure given
+/// its arguments (the collector may not call it in time order).
+using NodeRateModel =
+    std::function<NodeInterval(std::size_t node, std::size_t interval)>;
+
+/// One collector snapshot (a line in a tacc_stats raw file).
+struct RawSample {
+  double timestamp = 0.0;          ///< seconds since job start
+  CounterArray counters{};         ///< cumulative, width-limited values
+  std::vector<std::uint64_t> core_user_ticks;  ///< cumulative per core
+  double mem_used_gb = 0.0;        ///< gauge
+};
+
+/// Collector settings.
+struct CollectorConfig {
+  double interval_seconds = 600.0;  ///< cron period (10 min default)
+  std::uint32_t cores_per_node = 16;
+  double ticks_per_second = 100.0;  ///< USER_HZ
+  /// Relative jitter applied to each interval's integrated counters,
+  /// modelling measurement noise.  0 disables.
+  double counter_noise = 0.01;
+};
+
+/// Simulates the collector on one node for a job of `wall_seconds`.
+/// Returns the snapshot stream: prolog, cron ticks, epilog.  The initial
+/// counter values are randomized (counters count since *boot*, not since
+/// job start — the aggregator must difference, never trust absolutes).
+std::vector<RawSample> collect_node(const NodeRateModel& model,
+                                    std::size_t node_index,
+                                    double wall_seconds,
+                                    const CollectorConfig& config, Rng& rng);
+
+}  // namespace xdmodml::taccstats

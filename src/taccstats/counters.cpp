@@ -1,0 +1,61 @@
+#include "taccstats/counters.hpp"
+
+#include "util/error.hpp"
+
+namespace xdmodml::taccstats {
+
+unsigned counter_bits(CounterId id) {
+  switch (id) {
+    case CounterId::kEthTxBytes:
+    case CounterId::kEthRxBytes:
+      return 32;
+    default:
+      return 64;
+  }
+}
+
+const char* counter_name(CounterId id) {
+  switch (id) {
+    case CounterId::kCpuUserTicks: return "cpu_user_ticks";
+    case CounterId::kCpuSystemTicks: return "cpu_system_ticks";
+    case CounterId::kCpuIdleTicks: return "cpu_idle_ticks";
+    case CounterId::kClockCycles: return "clock_cycles";
+    case CounterId::kInstructions: return "instructions";
+    case CounterId::kL1dLoads: return "l1d_loads";
+    case CounterId::kFlops: return "flops";
+    case CounterId::kMemTransferBytes: return "mem_transfer_bytes";
+    case CounterId::kEthTxBytes: return "eth_tx_bytes";
+    case CounterId::kEthRxBytes: return "eth_rx_bytes";
+    case CounterId::kIbTxBytes: return "ib_tx_bytes";
+    case CounterId::kIbRxBytes: return "ib_rx_bytes";
+    case CounterId::kHomeReadBytes: return "home_read_bytes";
+    case CounterId::kHomeWriteBytes: return "home_write_bytes";
+    case CounterId::kScratchReadBytes: return "scratch_read_bytes";
+    case CounterId::kScratchWriteBytes: return "scratch_write_bytes";
+    case CounterId::kLustreTxBytes: return "lustre_tx_bytes";
+    case CounterId::kLustreRxBytes: return "lustre_rx_bytes";
+    case CounterId::kDiskReadBytes: return "disk_read_bytes";
+    case CounterId::kDiskWriteBytes: return "disk_write_bytes";
+    case CounterId::kDiskReadOps: return "disk_read_ops";
+    case CounterId::kDiskWriteOps: return "disk_write_ops";
+    case CounterId::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t counter_delta(CounterId id, std::uint64_t older,
+                            std::uint64_t newer) {
+  const unsigned bits = counter_bits(id);
+  if (bits >= 64) {
+    XDMODML_CHECK(newer >= older,
+                  "64-bit counter decreased — corrupt sample stream");
+    return newer - older;
+  }
+  const std::uint64_t modulus = std::uint64_t{1} << bits;
+  XDMODML_CHECK(older < modulus && newer < modulus,
+                "counter value exceeds its declared width");
+  if (newer >= older) return newer - older;
+  return modulus - older + newer;  // single rollover assumed
+}
+
+}  // namespace xdmodml::taccstats

@@ -1,0 +1,62 @@
+// Raw hardware/OS counters recorded by the (simulated) TACC_Stats
+// node-level collector.
+//
+// TACC_Stats samples *cumulative* counters (ticks, bytes, operations since
+// boot) at job prolog, epilog, and on a periodic cron; all rate metrics in
+// a SUPReMM job summary are recovered by differencing successive samples.
+// We reproduce that honestly — including the 32-bit rollover that several
+// sysstat network counters exhibit on real systems — so the aggregation
+// code path is the same one a production collector would need.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace xdmodml::taccstats {
+
+/// Cumulative counters maintained per node.
+enum class CounterId : std::size_t {
+  kCpuUserTicks = 0,   ///< scheduler ticks in user mode (all cores)
+  kCpuSystemTicks,     ///< scheduler ticks in kernel mode
+  kCpuIdleTicks,       ///< scheduler ticks idle
+  kClockCycles,        ///< unhalted core cycles (all cores)
+  kInstructions,       ///< retired instructions (all cores)
+  kL1dLoads,           ///< L1D cache loads (all cores)
+  kFlops,              ///< floating point operations (all cores)
+  kMemTransferBytes,   ///< bytes moved by the memory controllers
+  kEthTxBytes,         ///< ethernet transmit bytes (32-bit rollover!)
+  kEthRxBytes,         ///< ethernet receive bytes (32-bit rollover!)
+  kIbTxBytes,          ///< InfiniBand transmit bytes
+  kIbRxBytes,          ///< InfiniBand receive bytes
+  kHomeReadBytes,      ///< NFS $HOME read bytes
+  kHomeWriteBytes,     ///< NFS $HOME write bytes
+  kScratchReadBytes,   ///< scratch filesystem read bytes
+  kScratchWriteBytes,  ///< scratch filesystem write bytes
+  kLustreTxBytes,      ///< Lustre client transmit bytes
+  kLustreRxBytes,      ///< Lustre client receive bytes
+  kDiskReadBytes,      ///< local disk read bytes
+  kDiskWriteBytes,     ///< local disk write bytes
+  kDiskReadOps,        ///< local disk read operations
+  kDiskWriteOps,       ///< local disk write operations
+  kCount
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(CounterId::kCount);
+
+/// Bit width at which a counter wraps (64 = never in practice).
+/// The ethernet byte counters emulate the classic 32-bit sysstat fields.
+unsigned counter_bits(CounterId id);
+
+/// Human-readable counter name (for dumps and tests).
+const char* counter_name(CounterId id);
+
+/// Value of a counter array entry.
+using CounterArray = std::array<std::uint64_t, kNumCounters>;
+
+/// Difference new − old with rollover correction at the counter's width.
+std::uint64_t counter_delta(CounterId id, std::uint64_t older,
+                            std::uint64_t newer);
+
+}  // namespace xdmodml::taccstats

@@ -1,0 +1,83 @@
+#include "taccstats/pcp_archive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xdmodml::taccstats {
+
+PcpArchive PcpArchive::record(const NodeRateModel& model,
+                              std::size_t node_index, double busy_seconds,
+                              double idle_before, double idle_after,
+                              const CollectorConfig& config, Rng& rng) {
+  XDMODML_CHECK(busy_seconds > 0.0 && idle_before >= 0.0 &&
+                    idle_after >= 0.0,
+                "archive phases must be non-negative, busy positive");
+  // An idle node still ticks its counters slowly: wrap the job model in
+  // one that returns near-idle activity outside the busy window.
+  const double t_start = idle_before;
+  const double t_end = idle_before + busy_seconds;
+  const double interval = config.interval_seconds;
+  const NodeRateModel archive_model =
+      [&, t_start, t_end](std::size_t node, std::size_t index) {
+        const double t = (static_cast<double>(index) + 0.5) * interval;
+        if (t >= t_start && t < t_end) {
+          // Busy: delegate with a job-relative interval index.
+          const auto job_interval = static_cast<std::size_t>(
+              (t - t_start) / interval);
+          return model(node, job_interval);
+        }
+        NodeInterval idle;
+        idle.core_user_fraction.assign(config.cores_per_node, 0.005);
+        idle.system_fraction_of_rest = 0.02;
+        idle.mem_used_gb = 0.4;
+        idle.rates[static_cast<std::size_t>(CounterId::kClockCycles)] = 1e7;
+        idle.rates[static_cast<std::size_t>(CounterId::kInstructions)] =
+            1e7;
+        idle.rates[static_cast<std::size_t>(CounterId::kL1dLoads)] = 5e6;
+        idle.rates[static_cast<std::size_t>(CounterId::kEthTxBytes)] = 1e3;
+        idle.rates[static_cast<std::size_t>(CounterId::kEthRxBytes)] = 1e3;
+        return idle;
+      };
+
+  PcpArchive archive;
+  const double total = idle_before + busy_seconds + idle_after;
+  archive.samples_ =
+      collect_node(archive_model, node_index, total, config, rng);
+  return archive;
+}
+
+double PcpArchive::duration() const {
+  XDMODML_CHECK(!samples_.empty(), "empty archive");
+  return samples_.back().timestamp - samples_.front().timestamp;
+}
+
+std::vector<RawSample> PcpArchive::extract_window(double t0,
+                                                  double t1) const {
+  XDMODML_CHECK(!samples_.empty(), "empty archive");
+  XDMODML_CHECK(t0 < t1, "window requires t0 < t1");
+  XDMODML_CHECK(t0 >= samples_.front().timestamp &&
+                    t1 <= samples_.back().timestamp,
+                "window not covered by the archive");
+
+  // Last sample at-or-before t0.
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (samples_[i].timestamp <= t0) begin = i;
+  }
+  // First sample at-or-after t1.
+  std::size_t end = samples_.size() - 1;
+  for (std::size_t i = samples_.size(); i > 0; --i) {
+    if (samples_[i - 1].timestamp >= t1) end = i - 1;
+  }
+  XDMODML_CHECK(end > begin, "degenerate extraction window");
+
+  std::vector<RawSample> window(samples_.begin() + begin,
+                                samples_.begin() + end + 1);
+  const double base = window.front().timestamp;
+  for (auto& sample : window) sample.timestamp -= base;
+  return window;
+}
+
+}  // namespace xdmodml::taccstats

@@ -1,0 +1,46 @@
+// Performance Co-Pilot (PCP) style collection.
+//
+// SUPReMM supports two collection back-ends: TACC_Stats (job-aligned
+// prolog/cron/epilog snapshots — `collector.hpp`) and PCP, whose
+// pmlogger writes a *continuous* per-node archive that exists
+// independently of any job.  The summarization layer then extracts the
+// [job start, job end] window from each node's archive.  This module
+// simulates that back-end: `record()` produces a continuous archive at a
+// fixed logging interval, and `extract_window()` recovers a job-aligned
+// snapshot stream that feeds the very same `aggregate_job()` as
+// TACC_Stats data — demonstrating the collector-agnostic pipeline.
+#pragma once
+
+#include <vector>
+
+#include "taccstats/collector.hpp"
+
+namespace xdmodml::taccstats {
+
+/// A continuous node-level PCP archive.
+class PcpArchive {
+ public:
+  /// Records an archive of `archive_seconds` at `logging_interval`
+  /// seconds per sample.  `model` supplies ground truth per logging
+  /// interval, exactly as for the TACC_Stats collector; `idle_before`
+  /// and `idle_after` seconds of near-idle activity surround the busy
+  /// window so that window extraction is actually exercised.
+  static PcpArchive record(const NodeRateModel& model,
+                           std::size_t node_index, double busy_seconds,
+                           double idle_before, double idle_after,
+                           const CollectorConfig& config, Rng& rng);
+
+  const std::vector<RawSample>& samples() const { return samples_; }
+  double duration() const;
+
+  /// Extracts the snapshot stream covering [t0, t1] (archive time):
+  /// the last sample at-or-before t0 and every sample up to the first
+  /// at-or-after t1, with timestamps rebased so t0 is 0 — the shape
+  /// `aggregate_job()` expects.  Throws when the window is not covered.
+  std::vector<RawSample> extract_window(double t0, double t1) const;
+
+ private:
+  std::vector<RawSample> samples_;
+};
+
+}  // namespace xdmodml::taccstats

@@ -1,0 +1,102 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xdmodml {
+
+std::size_t CsvDocument::column_index(const std::string& name) const {
+  const auto it = std::find(header.begin(), header.end(), name);
+  XDMODML_CHECK(it != header.end(), "CSV column not found: " + name);
+  return static_cast<std::size_t>(it - header.begin());
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& fields) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (const double f : fields) {
+    std::ostringstream os;
+    os.precision(12);
+    os << f;
+    text.push_back(os.str());
+  }
+  write_row(text);
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+CsvDocument parse_csv(std::istream& in) {
+  CsvDocument doc;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = parse_csv_line(line);
+    if (!have_header) {
+      doc.header = std::move(fields);
+      have_header = true;
+    } else {
+      XDMODML_CHECK(fields.size() == doc.header.size(),
+                    "CSV row width does not match header");
+      doc.rows.push_back(std::move(fields));
+    }
+  }
+  return doc;
+}
+
+}  // namespace xdmodml

@@ -1,0 +1,45 @@
+// Minimal CSV read/write support.
+//
+// Benches and examples dump their series as CSV so that the paper's figures
+// can be re-plotted externally; the reader supports round-tripping those
+// files and loading user-provided job summaries.  Fields containing commas,
+// quotes or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xdmodml {
+
+/// Parsed CSV document: a header row plus data rows of strings.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws InvalidArgument when absent.
+  std::size_t column_index(const std::string& name) const;
+};
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(const std::vector<double>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Quotes a single field per RFC 4180 if needed.
+std::string csv_escape(const std::string& field);
+
+/// Parses a full CSV document (first row is the header).
+CsvDocument parse_csv(std::istream& in);
+
+/// Parses one CSV line into fields (no embedded newlines).
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+}  // namespace xdmodml

@@ -1,0 +1,88 @@
+#include "util/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace xdmodml {
+
+EigenDecomposition eigen_symmetric(const Matrix& a, double symmetry_tol,
+                                   std::size_t max_sweeps) {
+  const std::size_t n = a.rows();
+  XDMODML_CHECK(n > 0 && a.cols() == n, "eigen requires a square matrix");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      XDMODML_CHECK(std::abs(a(i, j) - a(j, i)) <=
+                        symmetry_tol * (1.0 + std::abs(a(i, j))),
+                    "eigen requires a symmetric matrix");
+    }
+  }
+
+  Matrix m = a;        // working copy, driven to diagonal form
+  Matrix v(n, n, 0.0); // accumulated rotations
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius norm — convergence test.
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += m(i, j) * m(i, j);
+    }
+    if (off < 1e-24) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        // Classic Jacobi rotation annihilating m(p, q).
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return m(i, i) > m(j, j);
+  });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = m(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace xdmodml

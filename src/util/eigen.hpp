@@ -1,0 +1,27 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// PCA needs the eigensystem of a covariance matrix (~48×48 here).  Jacobi
+// is simple, unconditionally stable for symmetric input, and at this size
+// far from being a bottleneck.  Eigenvalues are returned in descending
+// order with matching orthonormal eigenvectors.
+#pragma once
+
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace xdmodml {
+
+/// Result of a symmetric eigendecomposition: A = V diag(w) Vᵀ.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;  ///< descending
+  Matrix eigenvectors;              ///< column j pairs with eigenvalue j
+};
+
+/// Decomposes a symmetric matrix.  Throws InvalidArgument when `a` is not
+/// square or not symmetric within `symmetry_tol`.
+EigenDecomposition eigen_symmetric(const Matrix& a,
+                                   double symmetry_tol = 1e-9,
+                                   std::size_t max_sweeps = 64);
+
+}  // namespace xdmodml

@@ -1,0 +1,47 @@
+// Error handling utilities for the xdmod-ml library.
+//
+// We follow the C++ Core Guidelines: report errors that the immediate caller
+// cannot handle via exceptions (E.2), and check preconditions at API
+// boundaries (I.5).  The XDMODML_CHECK macro throws `xdmodml::Error` with a
+// message that includes the failing expression and source location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xdmodml {
+
+/// Base exception type for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// Raised when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// Raised when a computation cannot proceed (singular system, empty data, ...).
+class ComputeError : public Error {
+ public:
+  explicit ComputeError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace xdmodml
+
+/// Precondition check: throws xdmodml::InvalidArgument when `expr` is false.
+/// Always enabled (these guard public API boundaries, not hot loops).
+#define XDMODML_CHECK(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::xdmodml::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                             (msg));                      \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,219 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace xdmodml {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // xoshiro must not be seeded with all zeros; splitmix64 output of any
+  // seed cannot produce four zero words, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split() {
+  // Derive the child from two fresh words; SplitMix64 inside the child
+  // constructor decorrelates the streams.
+  const std::uint64_t a = (*this)();
+  const std::uint64_t b = (*this)();
+  return Rng(a ^ rotl(b, 31) ^ 0xd2b74407b1ce6e93ULL);
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  XDMODML_CHECK(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  XDMODML_CHECK(n > 0, "uniform_index requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  XDMODML_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sd) {
+  XDMODML_CHECK(sd >= 0.0, "normal requires sd >= 0");
+  return mean + sd * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  XDMODML_CHECK(sigma >= 0.0, "lognormal requires sigma >= 0");
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) {
+  XDMODML_CHECK(rate > 0.0, "exponential requires rate > 0");
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::gamma(double shape, double scale) {
+  XDMODML_CHECK(shape > 0.0 && scale > 0.0,
+                "gamma requires shape > 0 and scale > 0");
+  if (shape < 1.0) {
+    // Boost to shape+1 then apply the power correction (Marsaglia–Tsang).
+    const double g = gamma(shape + 1.0, 1.0);
+    double u = 0.0;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return scale * g * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return scale * d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double Rng::beta(double a, double b) {
+  XDMODML_CHECK(a > 0.0 && b > 0.0, "beta requires a > 0 and b > 0");
+  const double x = gamma(a, 1.0);
+  const double y = gamma(b, 1.0);
+  return x / (x + y);
+}
+
+bool Rng::bernoulli(double p) {
+  XDMODML_CHECK(p >= 0.0 && p <= 1.0, "bernoulli requires p in [0, 1]");
+  return uniform() < p;
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  XDMODML_CHECK(lambda >= 0.0, "poisson requires lambda >= 0");
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's multiplicative method.
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= uniform();
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction — adequate for the
+  // simulator's use (sample counts, packet counts).
+  const double x = normal(lambda, std::sqrt(lambda));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  XDMODML_CHECK(!weights.empty(), "categorical requires weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    XDMODML_CHECK(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  XDMODML_CHECK(total > 0.0, "categorical requires a positive total weight");
+  const double target = uniform() * total;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  // Floating-point round-off: return the last positively weighted index.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  XDMODML_CHECK(k <= n, "cannot sample more items than the population");
+  // Partial Fisher–Yates over an index vector.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(uniform_index(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace xdmodml

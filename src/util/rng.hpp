@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation for the workload simulator
+// and the ML library.
+//
+// All stochastic components of xdmod-ml draw from `Rng`, a small
+// xoshiro256** engine wrapper.  Two properties matter here:
+//
+//  * Reproducibility — every experiment binary takes a seed and produces
+//    identical output for identical seeds, across platforms.
+//  * Stream splitting — `split()` derives an independent child stream, so
+//    that e.g. each simulated compute node or each tree in a random forest
+//    gets its own generator and results do not depend on evaluation order
+//    or thread scheduling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace xdmodml {
+
+/// xoshiro256** engine with SplitMix64 seeding and distribution helpers.
+///
+/// Satisfies `std::uniform_random_bit_generator`, so it can also be used
+/// with <random> distributions, although the built-in helpers below are
+/// preferred for cross-platform determinism (libstdc++'s distributions are
+/// implementation-defined).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the engine from a single 64-bit value via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t operator()();
+
+  /// Derives an independent child stream.  The child's sequence is
+  /// decorrelated from the parent's continuation.
+  Rng split();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.  Unbiased (rejection).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation (sd >= 0).
+  double normal(double mean, double sd);
+
+  /// Log-normal: exp(N(mu, sigma)) — the workhorse for skewed HPC metrics.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Gamma(shape k > 0, scale theta > 0) via Marsaglia–Tsang.
+  double gamma(double shape, double scale);
+
+  /// Beta(a, b) with a, b > 0.
+  double beta(double a, double b);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Poisson with mean lambda >= 0 (Knuth for small, PTRS-like normal
+  /// approximation with rounding for large lambda).
+  std::uint64_t poisson(double lambda);
+
+  /// Samples an index with probability proportional to `weights[i]`.
+  /// Requires at least one strictly positive weight; negatives are invalid.
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n) in random order (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace xdmodml

@@ -1,0 +1,71 @@
+// Streaming and batch descriptive statistics.
+//
+// `RunningStats` implements Welford's online algorithm — numerically stable
+// single-pass mean/variance — which the TACC_Stats aggregator uses to roll
+// node-level samples up into job-level summaries, and which the SUPReMM
+// layer uses to compute the coefficient-of-variation (COV) attributes the
+// paper found so valuable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace xdmodml {
+
+/// Single-pass mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Mean of the observed values; 0 when empty.
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 when n < 2.
+  double variance() const;
+
+  /// sqrt(variance()).
+  double stddev() const;
+
+  /// Population variance (n denominator); 0 when empty.
+  double population_variance() const;
+
+  /// Coefficient of variation: stddev / mean.  Returns 0 when the mean is
+  /// zero (the SUPReMM convention for all-idle counters) or when n < 2.
+  double cov() const;
+
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers (empty input yields 0 unless stated otherwise).
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // unbiased, 0 when n < 2
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);  // 0 when empty
+
+/// Linear-interpolated quantile, q in [0, 1]; 0 when empty.
+double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation of two equal-length series; 0 when degenerate.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Histogram with equal-width bins over [lo, hi]; values outside the range
+/// are clamped into the edge bins.
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace xdmodml

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xdmodml {
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view s);
+
+/// Strips leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True when `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Last path component of a POSIX path ("/a/b/c" -> "c", "x" -> "x").
+std::string basename(std::string_view path);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+}  // namespace xdmodml

@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xdmodml {
+
+TextTable::TextTable(std::vector<std::string> header,
+                     std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  XDMODML_CHECK(!header_.empty(), "table requires a header");
+  if (aligns_.empty()) {
+    aligns_.assign(header_.size(), Align::kRight);
+    aligns_[0] = Align::kLeft;
+  }
+  XDMODML_CHECK(aligns_.size() == header_.size(),
+                "alignment count must match header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  XDMODML_CHECK(row.size() == header_.size(),
+                "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (const double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      const auto pad = widths[c] - row[c].size();
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << row[c];
+      if (aligns_[c] == Align::kLeft && c + 1 != row.size()) {
+        os << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_double(fraction * 100.0, precision);
+}
+
+std::string ascii_bar(double v, double vmax, std::size_t width) {
+  if (vmax <= 0.0 || v < 0.0) return std::string();
+  const double frac = std::min(1.0, v / vmax);
+  const auto filled = static_cast<std::size_t>(frac * static_cast<double>(width) + 0.5);
+  return std::string(filled, '#');
+}
+
+}  // namespace xdmodml

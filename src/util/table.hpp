@@ -1,0 +1,48 @@
+// ASCII table rendering for bench / example output.
+//
+// Every bench binary prints the paper's tables and figure series in a
+// fixed-width layout so the output can be eyeballed against the paper
+// (EXPERIMENTS.md records the comparison).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xdmodml {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// Simple text table: set a header, add rows of strings, render.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header,
+                     std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  /// Renders with column separators and a header rule.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string format_double(double v, int precision = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.9695 -> "96.95".
+std::string format_percent(double fraction, int precision = 2);
+
+/// Renders an ASCII sparkline-style bar of given width for v in [0, vmax].
+std::string ascii_bar(double v, double vmax, std::size_t width = 40);
+
+}  // namespace xdmodml

@@ -1,0 +1,68 @@
+// A small fixed-size thread pool with a blocking task queue and a
+// `parallel_for` helper.
+//
+// Random-forest training, one-vs-one SVM training and the workload
+// generator all fan out embarrassingly parallel work through this pool.
+// Determinism is preserved by assigning each work item its own RNG stream
+// *before* dispatch, so results are independent of scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace xdmodml {
+
+/// Fixed-size worker pool.  Tasks are std::function<void()>; submit()
+/// returns a future.  The destructor drains outstanding tasks and joins.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future reports its result/exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs `body(i)` for i in [begin, end), partitioned into contiguous
+  /// chunks across the pool.  Blocks until all iterations complete; the
+  /// first exception thrown by any chunk is rethrown on the caller.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide shared pool (lazily constructed, hardware-sized).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace xdmodml

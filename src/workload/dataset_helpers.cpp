@@ -1,0 +1,100 @@
+#include "workload/dataset_helpers.hpp"
+
+#include "util/error.hpp"
+
+namespace xdmodml::workload {
+
+namespace {
+
+/// Shared label-encoding walk over jobs; `emit` appends the feature row.
+template <typename EmitRow>
+ml::Dataset build_labeled(std::span<const GeneratedJob> jobs,
+                          const supremm::LabelFn& label_fn,
+                          std::span<const std::string> class_order,
+                          EmitRow&& emit) {
+  XDMODML_CHECK(static_cast<bool>(label_fn), "label_fn required");
+  ml::Dataset ds;
+  ml::LabelEncoder encoder;
+  for (const auto& name : class_order) encoder.encode(name);
+  for (const auto& job : jobs) {
+    const std::string label = label_fn(job.summary);
+    if (label.empty()) continue;
+    ds.labels.push_back(encoder.encode(label));
+    emit(ds, job);
+  }
+  ds.class_names = encoder.names();
+  return ds;
+}
+
+}  // namespace
+
+ml::Dataset build_summary_dataset(std::span<const GeneratedJob> jobs,
+                                  const supremm::AttributeSchema& schema,
+                                  const supremm::LabelFn& label_fn,
+                                  std::span<const std::string> class_order) {
+  auto ds = build_labeled(jobs, label_fn, class_order,
+                          [&](ml::Dataset& d, const GeneratedJob& job) {
+                            d.X.append_row(job.summary.extract(schema));
+                          });
+  ds.feature_names = schema.names();
+  ds.validate();
+  return ds;
+}
+
+ml::Dataset build_time_dataset(std::span<const GeneratedJob> jobs,
+                               std::span<const std::string> feature_names,
+                               const supremm::LabelFn& label_fn,
+                               std::span<const std::string> class_order) {
+  auto ds = build_labeled(jobs, label_fn, class_order,
+                          [&](ml::Dataset& d, const GeneratedJob& job) {
+                            XDMODML_CHECK(job.time_features.size() ==
+                                              feature_names.size(),
+                                          "time feature width mismatch");
+                            d.X.append_row(job.time_features);
+                          });
+  ds.feature_names.assign(feature_names.begin(), feature_names.end());
+  ds.validate();
+  return ds;
+}
+
+ml::Dataset build_combined_dataset(
+    std::span<const GeneratedJob> jobs, const supremm::AttributeSchema& schema,
+    std::span<const std::string> time_feature_names,
+    const supremm::LabelFn& label_fn,
+    std::span<const std::string> class_order) {
+  auto ds = build_labeled(
+      jobs, label_fn, class_order,
+      [&](ml::Dataset& d, const GeneratedJob& job) {
+        auto row = job.summary.extract(schema);
+        XDMODML_CHECK(job.time_features.size() == time_feature_names.size(),
+                      "time feature width mismatch");
+        row.insert(row.end(), job.time_features.begin(),
+                   job.time_features.end());
+        d.X.append_row(row);
+      });
+  ds.feature_names = schema.names();
+  ds.feature_names.insert(ds.feature_names.end(), time_feature_names.begin(),
+                          time_feature_names.end());
+  ds.validate();
+  return ds;
+}
+
+ml::Dataset build_summary_pool(std::span<const GeneratedJob> jobs,
+                               const supremm::AttributeSchema& schema) {
+  ml::Dataset ds;
+  ds.feature_names = schema.names();
+  for (const auto& job : jobs) {
+    ds.X.append_row(job.summary.extract(schema));
+  }
+  return ds;
+}
+
+std::vector<supremm::JobSummary> summaries_of(
+    std::span<const GeneratedJob> jobs) {
+  std::vector<supremm::JobSummary> out;
+  out.reserve(jobs.size());
+  for (const auto& job : jobs) out.push_back(job.summary);
+  return out;
+}
+
+}  // namespace xdmodml::workload

@@ -1,0 +1,45 @@
+// Dataset assembly helpers for generated jobs.
+//
+// The §IV experiments need three flavours of feature matrix from the same
+// generated jobs: the standard SUPReMM mean/COV attributes, the
+// time-dependent shape attributes, and their concatenation.  Class-code
+// consistency across train/test sets is handled via `class_order`.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "ml/dataset.hpp"
+#include "supremm/dataset_builder.hpp"
+#include "workload/generator.hpp"
+
+namespace xdmodml::workload {
+
+/// Mean/COV attribute dataset from generated jobs.
+ml::Dataset build_summary_dataset(
+    std::span<const GeneratedJob> jobs, const supremm::AttributeSchema& schema,
+    const supremm::LabelFn& label_fn,
+    std::span<const std::string> class_order = {});
+
+/// Time-shape attribute dataset from generated jobs.
+ml::Dataset build_time_dataset(std::span<const GeneratedJob> jobs,
+                               std::span<const std::string> feature_names,
+                               const supremm::LabelFn& label_fn,
+                               std::span<const std::string> class_order = {});
+
+/// Concatenated mean/COV + time-shape dataset.
+ml::Dataset build_combined_dataset(
+    std::span<const GeneratedJob> jobs, const supremm::AttributeSchema& schema,
+    std::span<const std::string> time_feature_names,
+    const supremm::LabelFn& label_fn,
+    std::span<const std::string> class_order = {});
+
+/// Unlabeled variants for the Uncategorized / NA pools.
+ml::Dataset build_summary_pool(std::span<const GeneratedJob> jobs,
+                               const supremm::AttributeSchema& schema);
+
+/// Extracts the plain summaries (for warehouse ingest etc.).
+std::vector<supremm::JobSummary> summaries_of(
+    std::span<const GeneratedJob> jobs);
+
+}  // namespace xdmodml::workload

@@ -1,0 +1,264 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace xdmodml::workload {
+
+namespace {
+
+/// Mixes a job seed with node/interval coordinates into a fresh stream so
+/// the rate model is a pure function of its arguments.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                    (b * 0xc2b2ae3d27d4eb4fULL);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(std::vector<AppSignature> signatures,
+                                     lariat::ApplicationTable table,
+                                     GeneratorConfig config,
+                                     std::uint64_t seed)
+    : signatures_(std::move(signatures)), table_(std::move(table)),
+      config_(config), rng_(seed) {
+  XDMODML_CHECK(!signatures_.empty(), "generator requires signatures");
+  for (const auto& sig : signatures_) {
+    XDMODML_CHECK(table_.find(sig.application) != nullptr,
+                  "signature application missing from lariat table: " +
+                      sig.application);
+    XDMODML_CHECK(sig.mix_weight > 0.0, "mix weights must be positive");
+  }
+}
+
+WorkloadGenerator WorkloadGenerator::standard(GeneratorConfig config,
+                                              std::uint64_t seed) {
+  return WorkloadGenerator(standard_signatures(),
+                           lariat::ApplicationTable::standard(), config,
+                           seed);
+}
+
+GeneratedJob WorkloadGenerator::generate_one(const AppSignature& sig,
+                                             PoolKind pool,
+                                             std::uint64_t job_seed,
+                                             std::uint64_t job_id) const {
+  Rng job_rng(job_seed);
+  const auto draw = sig.draw_job(config_.platform, job_rng);
+
+  taccstats::CollectorConfig collector;
+  collector.interval_seconds = config_.collection_interval_seconds;
+  collector.cores_per_node = config_.platform.cores_per_node;
+  collector.counter_noise = config_.counter_noise;
+
+  // The rate model must be pure in (node, interval): derive a stream from
+  // the job seed and the coordinates.
+  const std::uint64_t model_seed = job_rng();
+  const taccstats::NodeRateModel model =
+      [&](std::size_t node, std::size_t interval) {
+        Rng r(mix_seed(model_seed, node, interval));
+        return sig.interval_model(draw, config_.platform, node, interval, r);
+      };
+
+  std::vector<std::vector<taccstats::RawSample>> node_samples;
+  node_samples.reserve(draw.nodes);
+  for (std::uint32_t n = 0; n < draw.nodes; ++n) {
+    Rng node_rng = job_rng.split();
+    node_samples.push_back(collect_node(model, n, draw.wall_seconds,
+                                        collector, node_rng));
+  }
+
+  auto result = taccstats::aggregate_job(node_samples, collector);
+
+  GeneratedJob out;
+  out.summary = std::move(result.job);
+  out.summary.job_id = job_id;
+  out.summary.application_succeeded = !draw.failed;
+  // Start times spread uniformly over a simulated year of operation.
+  out.summary.start_epoch_seconds =
+      job_rng.uniform(0.0, 365.0 * 24.0 * 3600.0);
+
+  // Exit-code model: the script's exit code only loosely tracks the
+  // application's fate (§II).
+  if (draw.failed) {
+    out.summary.exit_code =
+        job_rng.bernoulli(config_.failure_masked_rate)
+            ? 0
+            : static_cast<int>(1 + job_rng.uniform_index(138));
+  } else {
+    out.summary.exit_code = job_rng.bernoulli(config_.script_exit_noise)
+                                ? static_cast<int>(1 + job_rng.uniform_index(2))
+                                : 0;
+  }
+
+  // Lariat identification.
+  switch (pool) {
+    case PoolKind::kNative:
+      out.summary.executable_path = sig.executable;
+      break;
+    case PoolKind::kUncategorized: {
+      const auto& names = lariat::common_user_binary_names();
+      out.summary.executable_path =
+          "/home/user" + std::to_string(job_rng.uniform_index(5000)) + "/" +
+          names[job_rng.uniform_index(names.size())];
+      break;
+    }
+    case PoolKind::kNa:
+      out.summary.executable_path.clear();  // no Lariat record
+      break;
+  }
+  const auto ident = table_.identify(out.summary.executable_path);
+  out.summary.label_source = ident.source;
+  out.summary.application = ident.application;
+  out.summary.category = ident.category;
+
+  taccstats::TimeFeatureConfig tf;
+  tf.segments = config_.time_segments;
+  out.time_features = taccstats::extract_time_features(result, tf);
+  return out;
+}
+
+std::vector<GeneratedJob> WorkloadGenerator::generate_batch(
+    const std::vector<const AppSignature*>& sigs, PoolKind pool) {
+  // Pre-draw all job seeds/ids so generation order does not depend on
+  // thread scheduling.
+  std::vector<std::uint64_t> seeds(sigs.size());
+  std::vector<std::uint64_t> ids(sigs.size());
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    seeds[i] = rng_();
+    ids[i] = next_job_id_++;
+  }
+  std::vector<GeneratedJob> jobs(sigs.size());
+  auto work = [&](std::size_t i) {
+    jobs[i] = generate_one(*sigs[i], pool, seeds[i], ids[i]);
+  };
+  if (config_.parallel) {
+    ThreadPool::global().parallel_for(0, sigs.size(), work);
+  } else {
+    for (std::size_t i = 0; i < sigs.size(); ++i) work(i);
+  }
+  return jobs;
+}
+
+std::vector<GeneratedJob> WorkloadGenerator::generate_native(
+    std::size_t count) {
+  std::vector<double> weights;
+  weights.reserve(signatures_.size());
+  for (const auto& s : signatures_) weights.push_back(s.mix_weight);
+  std::vector<const AppSignature*> sigs;
+  sigs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sigs.push_back(&signatures_[rng_.categorical(weights)]);
+  }
+  return generate_batch(sigs, PoolKind::kNative);
+}
+
+std::vector<GeneratedJob> WorkloadGenerator::generate_for(
+    const std::string& application, std::size_t count) {
+  const auto& sig = find_signature(signatures_, application);
+  std::vector<const AppSignature*> sigs(count, &sig);
+  return generate_batch(sigs, PoolKind::kNative);
+}
+
+std::vector<GeneratedJob> WorkloadGenerator::generate_balanced(
+    std::size_t per_class) {
+  std::vector<const AppSignature*> sigs;
+  sigs.reserve(per_class * signatures_.size());
+  for (const auto& s : signatures_) {
+    for (std::size_t i = 0; i < per_class; ++i) sigs.push_back(&s);
+  }
+  return generate_batch(sigs, PoolKind::kNative);
+}
+
+std::vector<GeneratedJob> WorkloadGenerator::generate_custom_batch(
+    std::size_t count, PoolKind pool, double community_fraction) {
+  // Custom signatures are drawn fresh per job; community jobs reuse the
+  // native signature set.  Generation happens sequentially per signature
+  // draw but fans the collector work out in one batch at the end.
+  std::vector<AppSignature> custom;
+  std::vector<const AppSignature*> sigs;
+  custom.reserve(count);
+  sigs.reserve(count);
+  std::vector<double> weights;
+  for (const auto& s : signatures_) weights.push_back(s.mix_weight);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng_.bernoulli(community_fraction)) {
+      sigs.push_back(&signatures_[rng_.categorical(weights)]);
+    } else {
+      custom.push_back(random_custom_signature(rng_));
+      sigs.push_back(nullptr);  // patched below once `custom` stops moving
+    }
+  }
+  std::size_t custom_index = 0;
+  for (auto& ptr : sigs) {
+    if (ptr == nullptr) ptr = &custom[custom_index++];
+  }
+  return generate_batch(sigs, pool);
+}
+
+std::vector<GeneratedJob> WorkloadGenerator::generate_uncategorized(
+    std::size_t count) {
+  return generate_custom_batch(count, PoolKind::kUncategorized, 0.0);
+}
+
+std::vector<GeneratedJob> WorkloadGenerator::generate_na(
+    std::size_t count, double community_fraction) {
+  XDMODML_CHECK(community_fraction >= 0.0 && community_fraction <= 1.0,
+                "community_fraction must be in [0, 1]");
+  return generate_custom_batch(count, PoolKind::kNa, community_fraction);
+}
+
+std::vector<std::string> WorkloadGenerator::time_feature_names() const {
+  taccstats::TimeFeatureConfig tf;
+  tf.segments = config_.time_segments;
+  return taccstats::time_feature_names(tf);
+}
+
+AppSignature random_custom_signature(Rng& rng) {
+  // User-compiled research codes: every aspect drawn independently from
+  // broad ranges, so the resulting signatures do not concentrate near any
+  // community application.
+  AppSignature s;
+  s.application.clear();
+  s.executable = "a.out";
+  s.mix_weight = 1.0;
+  s.nodes = {std::exp(rng.uniform(0.0, 3.0)), rng.uniform(0.3, 1.0)};
+  s.wall_hours = {std::exp(rng.uniform(-1.0, 2.5)), rng.uniform(0.3, 1.0)};
+  s.cpu_user = rng.uniform(0.15, 1.0);
+  s.cpu_user_jitter = rng.uniform(0.02, 0.2);
+  s.system_fraction = rng.uniform(0.05, 0.8);
+  s.cpi = {std::exp(rng.uniform(-0.9, 1.2)), rng.uniform(0.1, 0.35)};
+  s.cpld = {std::exp(rng.uniform(0.6, 2.5)), rng.uniform(0.1, 0.35)};
+  s.flops_gf_core = {std::exp(rng.uniform(-2.5, 2.5)),
+                     rng.uniform(0.2, 0.7)};
+  s.mem_gb = {std::exp(rng.uniform(-0.7, 3.3)), rng.uniform(0.2, 0.7)};
+  s.mem_bw_gb = {std::exp(rng.uniform(0.5, 3.7)), rng.uniform(0.2, 0.5)};
+  s.ib_mb = {std::exp(rng.uniform(-2.0, 6.0)), rng.uniform(0.3, 1.0)};
+  s.eth_mb = {std::exp(rng.uniform(-3.0, 1.5)), rng.uniform(0.3, 1.0)};
+  s.lustre_mb = {std::exp(rng.uniform(-3.0, 4.0)), rng.uniform(0.3, 1.0)};
+  s.scratch_write_mb = {std::exp(rng.uniform(-3.0, 3.5)),
+                        rng.uniform(0.3, 1.0)};
+  s.scratch_read_mb = {std::exp(rng.uniform(-3.5, 3.0)),
+                       rng.uniform(0.3, 1.0)};
+  s.home_mb = {std::exp(rng.uniform(-5.0, 0.5)), rng.uniform(0.3, 1.0)};
+  s.disk_mb = {std::exp(rng.uniform(-3.0, 3.0)), rng.uniform(0.3, 1.0)};
+  s.node_variation = rng.uniform(0.02, 0.4);
+  s.io_node_variation = rng.uniform(0.1, 0.8);
+  const std::array<TemporalShape::Kind, 5> kinds{
+      TemporalShape::Kind::kSteady, TemporalShape::Kind::kBurstyIo,
+      TemporalShape::Kind::kPhased, TemporalShape::Kind::kRampUp,
+      TemporalShape::Kind::kFrontLoaded};
+  s.shape.kind = kinds[rng.uniform_index(kinds.size())];
+  s.shape.period_intervals = rng.uniform(2.0, 8.0);
+  s.shape.amplitude = rng.uniform(0.1, 0.8);
+  s.failure_rate = rng.uniform(0.01, 0.25);
+  return s;
+}
+
+}  // namespace xdmodml::workload

@@ -1,0 +1,31 @@
+#include "workload/platform.hpp"
+
+namespace xdmodml::workload {
+
+Platform Platform::stampede() {
+  Platform p;
+  p.name = "stampede";
+  p.cores_per_node = 16;
+  p.clock_ghz = 2.7;
+  p.cpi_scale = 1.0;
+  p.mem_per_node_gb = 32.0;
+  p.mem_bw_scale = 1.0;
+  p.ib_scale = 1.0;
+  p.fs_scale = 1.0;
+  return p;
+}
+
+Platform Platform::maverick() {
+  Platform p;
+  p.name = "maverick";
+  p.cores_per_node = 24;
+  p.clock_ghz = 2.5;
+  p.cpi_scale = 0.65;      // better micro-architecture: lower CPI
+  p.mem_per_node_gb = 64.0;
+  p.mem_bw_scale = 1.6;
+  p.ib_scale = 2.0;
+  p.fs_scale = 1.5;
+  return p;
+}
+
+}  // namespace xdmodml::workload

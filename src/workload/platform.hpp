@@ -1,0 +1,39 @@
+// HPC platform models.
+//
+// A Platform captures the hardware constants that shape raw counter
+// values: clock rate, core count, network and filesystem throughput
+// scales.  Two platforms are provided — a Stampede-like machine (the
+// paper's testbed) and a second, deliberately different machine — so the
+// Section-IV cross-platform experiments can train on one and test on the
+// other.  Mean-value attributes shift with the platform constants; the
+// normalized time-shape attributes largely do not, which is exactly the
+// contrast the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xdmodml::workload {
+
+/// Hardware constants of a simulated machine.
+struct Platform {
+  std::string name;
+  std::uint32_t cores_per_node = 16;
+  double clock_ghz = 2.7;        ///< per-core clock
+  double cpi_scale = 1.0;        ///< micro-architecture efficiency factor
+  double mem_per_node_gb = 32.0; ///< installed memory per node
+  double mem_bw_scale = 1.0;     ///< memory bandwidth factor
+  double ib_scale = 1.0;         ///< interconnect throughput factor
+  double fs_scale = 1.0;         ///< parallel filesystem throughput factor
+
+  /// TACC Stampede (2014): 16-core Sandy Bridge nodes at 2.7 GHz,
+  /// 32 GB/node, FDR InfiniBand, Lustre scratch.
+  static Platform stampede();
+
+  /// A Haswell-era comparison machine: 24 cores at 2.5 GHz, 64 GB/node,
+  /// faster memory and interconnect — different enough that mean-value
+  /// signatures shift visibly across platforms.
+  static Platform maverick();
+};
+
+}  // namespace xdmodml::workload

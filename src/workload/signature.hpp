@@ -1,0 +1,143 @@
+// Application performance signatures.
+//
+// The paper's central finding is that "community applications have
+// characteristic signatures which can be exploited for job
+// classification".  An AppSignature encodes such a signature as a
+// generative model: distributions over job shape (nodes, wall time) and
+// over the ground-truth counter rates the TACC_Stats collector will
+// observe, with three nested variance scales —
+//
+//   * job-to-job   (the same code run on different inputs),
+//   * node-to-node (load imbalance; this is what the COV attributes see),
+//   * interval-to-interval (temporal phases: checkpoints, bursty IO).
+//
+// Signatures are built from per-category templates with per-application
+// offsets, so applications within one broad category (e.g. the MD codes
+// NAMD / GROMACS / LAMMPS / AMBER) overlap far more than applications
+// from different categories — which is exactly the confusion structure
+// of the paper's Table 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "taccstats/collector.hpp"
+#include "util/rng.hpp"
+#include "workload/platform.hpp"
+
+namespace xdmodml::workload {
+
+/// A positive quantity with log-normal job-to-job variation.
+struct LogNormalParam {
+  double median = 1.0;
+  double sigma = 0.3;  ///< sigma of log
+
+  double sample(Rng& rng) const;
+};
+
+/// Temporal activity pattern over a job's lifetime.
+struct TemporalShape {
+  enum class Kind {
+    kSteady,      ///< constant activity
+    kBurstyIo,    ///< periodic IO bursts over steady compute (checkpoints)
+    kPhased,      ///< alternating compute-heavy / comm-heavy phases
+    kRampUp,      ///< activity grows over the run (mesh refinement)
+    kFrontLoaded  ///< heavy setup, then lighter steady state
+  };
+  Kind kind = Kind::kSteady;
+  double period_intervals = 3.0;  ///< phase period for periodic kinds
+  double amplitude = 0.5;         ///< modulation depth in [0, 1)
+
+  /// Multiplicative modulation for compute-type counters at `interval`.
+  double compute_factor(std::size_t interval) const;
+  /// Multiplicative modulation for IO-type counters at `interval`.
+  double io_factor(std::size_t interval) const;
+};
+
+/// Full generative signature of one application.
+struct AppSignature {
+  std::string application;   ///< community-app name ("" for custom codes)
+  std::string executable;    ///< representative executable path
+  double mix_weight = 1.0;   ///< share in the native job mix
+
+  // Job shape.
+  LogNormalParam nodes{2.0, 0.8};          ///< rounded to >= 1, capped
+  LogNormalParam wall_hours{2.0, 0.7};     ///< capped at 48 h
+  std::uint32_t max_nodes = 128;
+
+  // CPU behaviour.
+  double cpu_user = 0.9;        ///< mean per-core user fraction
+  double cpu_user_jitter = 0.05;
+  double system_fraction = 0.3; ///< kernel share of non-user time
+  LogNormalParam cpi{0.8, 0.15};
+  LogNormalParam cpld{3.0, 0.2};          ///< clocks per L1D load
+  LogNormalParam flops_gf_core{3.0, 0.4}; ///< GF/s per core
+
+  // Memory.
+  LogNormalParam mem_gb{8.0, 0.4};        ///< used per node
+  LogNormalParam mem_bw_gb{20.0, 0.3};    ///< GB/s per node
+
+  // Network (MB/s per node).
+  LogNormalParam ib_mb{80.0, 0.5};
+  double ib_rx_tx_ratio = 1.0;
+  LogNormalParam eth_mb{0.3, 0.6};
+
+  // Filesystem / disk (MB/s per node).
+  LogNormalParam lustre_mb{5.0, 0.8};
+  LogNormalParam scratch_write_mb{3.0, 0.8};
+  LogNormalParam scratch_read_mb{1.0, 0.8};
+  LogNormalParam home_mb{0.05, 0.8};
+  LogNormalParam disk_mb{0.5, 0.8};
+  double io_op_bytes = 262144.0;  ///< mean IO request size (for IOPS)
+
+  // Variance structure.
+  double node_variation = 0.08;   ///< sd of per-node multiplicative factor
+  double io_node_variation = 0.3; ///< ditto for IO/network counters
+  TemporalShape shape;
+
+  // Outcome model.
+  double failure_rate = 0.03;     ///< application-level failure rate
+
+  /// Draws the per-job latent state used by `interval_model`.
+  struct JobDraw {
+    std::uint32_t nodes = 1;
+    double wall_seconds = 3600.0;
+    bool failed = false;
+    double fail_fraction = 1.0;  ///< fraction of wall completed on failure
+    // Job-level sampled levels.
+    double cpu_user = 0.9;
+    double cpi = 0.8;
+    double cpld = 3.0;
+    double flops_gf_core = 3.0;
+    double mem_gb = 8.0;
+    double mem_bw_gb = 20.0;
+    double ib_mb = 80.0;
+    double eth_mb = 0.3;
+    double lustre_mb = 5.0;
+    double scratch_write_mb = 3.0;
+    double scratch_read_mb = 1.0;
+    double home_mb = 0.05;
+    double disk_mb = 0.5;
+    std::vector<double> node_factor;     ///< per node, compute counters
+    std::vector<double> io_node_factor;  ///< per node, IO/network counters
+  };
+  JobDraw draw_job(const Platform& platform, Rng& rng) const;
+
+  /// Ground truth for one (node, interval) — plugs into the collector.
+  taccstats::NodeInterval interval_model(const JobDraw& draw,
+                                         const Platform& platform,
+                                         std::size_t node,
+                                         std::size_t interval,
+                                         Rng& rng) const;
+};
+
+/// The standard signature set covering every application in the
+/// lariat::ApplicationTable::standard() table, with Table 2's native mix
+/// proportions (VASP ~33%, NAMD ~17%, ...).
+std::vector<AppSignature> standard_signatures();
+
+/// Finds a signature by application name; throws when absent.
+const AppSignature& find_signature(const std::vector<AppSignature>& sigs,
+                                   const std::string& application);
+
+}  // namespace xdmodml::workload

@@ -1,0 +1,152 @@
+#include "xdmod/appkernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xdmodml::xdmod {
+
+void AppKernelStore::add(AppKernelRun run) { runs_.push_back(std::move(run)); }
+
+void AppKernelStore::add(std::span<const AppKernelRun> runs) {
+  runs_.insert(runs_.end(), runs.begin(), runs.end());
+}
+
+std::vector<std::string> AppKernelStore::kernels() const {
+  std::vector<std::string> names;
+  for (const auto& run : runs_) {
+    if (std::find(names.begin(), names.end(), run.kernel) == names.end()) {
+      names.push_back(run.kernel);
+    }
+  }
+  return names;
+}
+
+std::vector<AppKernelRun> AppKernelStore::series(const std::string& kernel,
+                                                 std::uint32_t nodes) const {
+  std::vector<AppKernelRun> out;
+  for (const auto& run : runs_) {
+    if (run.kernel == kernel && run.nodes == nodes) out.push_back(run);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AppKernelRun& a, const AppKernelRun& b) {
+              return a.day < b.day;
+            });
+  return out;
+}
+
+ml::Dataset AppKernelStore::regression_dataset() const {
+  XDMODML_CHECK(!runs_.empty(), "no app-kernel runs stored");
+  const auto names = kernels();
+  ml::Dataset ds;
+  for (const auto& name : names) ds.feature_names.push_back("is_" + name);
+  ds.feature_names.push_back("nodes");
+  ds.feature_names.push_back("input_scale");
+  for (const auto& run : runs_) {
+    std::vector<double> row(names.size() + 2, 0.0);
+    const auto it = std::find(names.begin(), names.end(), run.kernel);
+    row[static_cast<std::size_t>(it - names.begin())] = 1.0;
+    row[names.size()] = static_cast<double>(run.nodes);
+    row[names.size() + 1] = run.input_scale;
+    ds.X.append_row(row);
+    ds.targets.push_back(run.wall_seconds);
+  }
+  ds.validate();
+  return ds;
+}
+
+std::vector<AppKernelRun> generate_appkernel_history(
+    std::span<const std::string> kernels,
+    const AppKernelHistoryConfig& config,
+    std::span<const DegradationEvent> events, Rng& rng) {
+  XDMODML_CHECK(!kernels.empty(), "need at least one kernel");
+  XDMODML_CHECK(config.days > 0.0 && config.runs_per_day > 0.0,
+                "history config must be positive");
+  std::vector<AppKernelRun> runs;
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    // Per-kernel base cost: wall = base * scale^alpha / nodes^beta, the
+    // classic strong-scaling shape with imperfect speedup.
+    const double base = 300.0 * (1.0 + static_cast<double>(k));
+    const double alpha = 1.0 + 0.1 * static_cast<double>(k % 3);
+    const double beta = 0.8 - 0.05 * static_cast<double>(k % 4);
+    for (double day = 0.0; day < config.days;
+         day += 1.0 / config.runs_per_day) {
+      for (const auto nodes : config.node_counts) {
+        AppKernelRun run;
+        run.kernel = kernels[k];
+        run.day = day + rng.uniform(0.0, 0.3);
+        run.nodes = nodes;
+        run.input_scale = 1.0;  // identical inputs — the app-kernel idea
+        double wall = base * std::pow(run.input_scale, alpha) /
+                      std::pow(static_cast<double>(nodes), beta);
+        for (const auto& ev : events) {
+          if (run.day >= ev.start_day && run.day < ev.end_day) {
+            wall *= ev.slowdown;
+          }
+        }
+        run.wall_seconds = wall * std::exp(rng.normal(0.0, config.noise_sigma));
+        run.flops_gf = 100.0 * static_cast<double>(nodes) *
+                       (wall > 0.0 ? base / wall : 0.0) / base;
+        runs.push_back(std::move(run));
+      }
+    }
+  }
+  return runs;
+}
+
+std::vector<std::size_t> detect_degradations(
+    std::span<const AppKernelRun> series, const ControlChartConfig& config) {
+  XDMODML_CHECK(series.size() > config.baseline_runs,
+                "series shorter than the baseline window");
+  // Baseline mean/sd from the first `baseline_runs` runs.
+  RunningStats baseline;
+  for (std::size_t i = 0; i < config.baseline_runs; ++i) {
+    baseline.add(series[i].wall_seconds);
+  }
+  const double mu = baseline.mean();
+  const double sigma = std::max(baseline.stddev(), 1e-9);
+
+  // One-sided CUSUM for a wall-time *increase*.
+  std::vector<std::size_t> alarms;
+  double cusum = 0.0;
+  for (std::size_t i = config.baseline_runs; i < series.size(); ++i) {
+    const double z = (series[i].wall_seconds - mu) / sigma;
+    cusum = std::max(0.0, cusum + z - config.slack_sigma);
+    if (cusum > config.threshold_sigma) {
+      alarms.push_back(i);
+      // Keep the alarm latched but bounded so recovery re-arms quickly.
+      cusum = config.threshold_sigma * 1.5;
+    }
+  }
+  return alarms;
+}
+
+std::vector<std::size_t> detect_degradations_ewma(
+    std::span<const AppKernelRun> series, const EwmaConfig& config) {
+  XDMODML_CHECK(series.size() > config.baseline_runs,
+                "series shorter than the baseline window");
+  XDMODML_CHECK(config.lambda > 0.0 && config.lambda <= 1.0,
+                "lambda must be in (0, 1]");
+  RunningStats baseline;
+  for (std::size_t i = 0; i < config.baseline_runs; ++i) {
+    baseline.add(series[i].wall_seconds);
+  }
+  const double mu = baseline.mean();
+  const double sigma = std::max(baseline.stddev(), 1e-9);
+  const double limit =
+      mu + config.limit_sigma * sigma *
+               std::sqrt(config.lambda / (2.0 - config.lambda));
+
+  std::vector<std::size_t> alarms;
+  double ewma = mu;
+  for (std::size_t i = config.baseline_runs; i < series.size(); ++i) {
+    ewma = config.lambda * series[i].wall_seconds +
+           (1.0 - config.lambda) * ewma;
+    if (ewma > limit) alarms.push_back(i);
+  }
+  return alarms;
+}
+
+}  // namespace xdmodml::xdmod

@@ -1,0 +1,113 @@
+// Application kernels: proactive quality-of-service monitoring.
+//
+// XDMoD periodically runs lightweight benchmark applications ("application
+// kernels") through the normal queues with identical inputs; process-
+// control algorithms watch the resulting performance series and alert
+// staff when a kernel under-performs.  This module provides
+//
+//   * a store for kernel run history,
+//   * a synthetic history generator with injected degradation events
+//     (the paper's QoS scenario), and
+//   * CUSUM control-chart detection of those events,
+//
+// plus the feature extraction used by the §IV wall-time regression study
+// (SVR / random-forest regression of kernel wall time).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml::xdmod {
+
+/// One execution of an application kernel.
+struct AppKernelRun {
+  std::string kernel;        ///< kernel name, e.g. "nwchem", "graph500"
+  double day = 0.0;          ///< days since monitoring started
+  std::uint32_t nodes = 1;   ///< run size
+  double input_scale = 1.0;  ///< problem-size multiplier
+  double wall_seconds = 0.0; ///< measured wall time
+  double flops_gf = 0.0;     ///< measured aggregate performance
+};
+
+/// Run-history store with per-(kernel, nodes) series access.
+class AppKernelStore {
+ public:
+  void add(AppKernelRun run);
+  void add(std::span<const AppKernelRun> runs);
+  std::size_t size() const { return runs_.size(); }
+
+  std::vector<std::string> kernels() const;
+
+  /// Runs of one kernel at one node count, ordered by day.
+  std::vector<AppKernelRun> series(const std::string& kernel,
+                                   std::uint32_t nodes) const;
+
+  const std::vector<AppKernelRun>& all() const { return runs_; }
+
+  /// Regression dataset: features (kernel one-hot, nodes, input scale),
+  /// target wall seconds.
+  ml::Dataset regression_dataset() const;
+
+ private:
+  std::vector<AppKernelRun> runs_;
+};
+
+/// A degradation event injected into synthetic history.
+struct DegradationEvent {
+  double start_day = 0.0;
+  double end_day = 0.0;
+  double slowdown = 1.3;  ///< wall-time multiplier while active
+};
+
+/// Synthetic history settings.
+struct AppKernelHistoryConfig {
+  double days = 120.0;
+  double runs_per_day = 1.0;
+  std::vector<std::uint32_t> node_counts{1, 2, 4, 8};
+  double noise_sigma = 0.04;  ///< run-to-run lognormal noise
+};
+
+/// Generates history for the named kernels with the given degradations
+/// applied to *all* kernels (a system-level event, e.g. a degraded
+/// filesystem).
+std::vector<AppKernelRun> generate_appkernel_history(
+    std::span<const std::string> kernels,
+    const AppKernelHistoryConfig& config,
+    std::span<const DegradationEvent> events, Rng& rng);
+
+/// CUSUM control chart over a kernel series' wall times.
+struct ControlChartConfig {
+  std::size_t baseline_runs = 20;  ///< runs used to estimate the baseline
+  double slack_sigma = 0.5;        ///< CUSUM slack (k)
+  double threshold_sigma = 5.0;    ///< alarm threshold (h)
+};
+
+/// Indices into `series` where the CUSUM alarm is active.
+std::vector<std::size_t> detect_degradations(
+    std::span<const AppKernelRun> series, const ControlChartConfig& config);
+
+/// EWMA control chart (the other classic choice): an exponentially
+/// weighted moving average of wall times with control limits
+/// μ ± L·σ·sqrt(λ/(2−λ)).  Less sensitive to a single outlier than a
+/// raw Shewhart chart, slower than CUSUM on small sustained shifts.
+struct EwmaConfig {
+  std::size_t baseline_runs = 20;  ///< runs used to estimate μ and σ
+  double lambda = 0.2;             ///< smoothing weight in (0, 1]
+  /// Control-limit width (L).  Wider than the textbook 3 because μ and σ
+  /// are *estimated* from a short baseline (σ̂ from ~20 runs can be 25%
+  /// low), which inflates the false-alarm rate of the autocorrelated
+  /// EWMA statistic.
+  double limit_sigma = 4.5;
+};
+
+/// Indices into `series` where the EWMA exceeds the upper control limit.
+std::vector<std::size_t> detect_degradations_ewma(
+    std::span<const AppKernelRun> series, const EwmaConfig& config);
+
+}  // namespace xdmodml::xdmod

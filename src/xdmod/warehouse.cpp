@@ -1,0 +1,192 @@
+#include "xdmod/warehouse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace xdmodml::xdmod {
+
+const char* dimension_name(Dimension dimension) {
+  switch (dimension) {
+    case Dimension::kApplication:
+      return "application";
+    case Dimension::kCategory:
+      return "category";
+    case Dimension::kLabelSource:
+      return "label source";
+    case Dimension::kJobSize:
+      return "job size";
+    case Dimension::kExitStatus:
+      return "exit status";
+    case Dimension::kMonth:
+      return "month";
+  }
+  return "?";
+}
+
+std::string month_bucket(double start_epoch_seconds) {
+  const double month_seconds = 30.0 * 24.0 * 3600.0;
+  const auto month = static_cast<long>(
+      std::max(0.0, start_epoch_seconds) / month_seconds);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "month %02ld", month);
+  return buf;
+}
+
+const char* statistic_name(Statistic statistic) {
+  switch (statistic) {
+    case Statistic::kJobCount:
+      return "jobs";
+    case Statistic::kCpuHours:
+      return "CPU hours";
+    case Statistic::kNodeHours:
+      return "node hours";
+    case Statistic::kTotalWallHours:
+      return "total wall hours";
+    case Statistic::kAvgWallHours:
+      return "avg wall hours";
+    case Statistic::kAvgCpuUser:
+      return "avg CPU user";
+    case Statistic::kAvgMemUsedGb:
+      return "avg memory used (GB)";
+  }
+  return "?";
+}
+
+std::string job_size_bucket(std::uint32_t nodes) {
+  if (nodes <= 1) return "1";
+  if (nodes <= 4) return "2-4";
+  if (nodes <= 16) return "5-16";
+  if (nodes <= 64) return "17-64";
+  return "65+";
+}
+
+bool Filter::matches(const supremm::JobSummary& job) const {
+  if (application && job.application != *application) return false;
+  if (category && job.category != *category) return false;
+  if (label_source && job.label_source != *label_source) return false;
+  if (min_nodes && job.nodes < *min_nodes) return false;
+  if (max_nodes && job.nodes > *max_nodes) return false;
+  if (start_after && job.start_epoch_seconds < *start_after) return false;
+  if (start_before && job.start_epoch_seconds >= *start_before) {
+    return false;
+  }
+  return true;
+}
+
+void Warehouse::ingest(supremm::JobSummary job) {
+  jobs_.push_back(std::move(job));
+}
+
+void Warehouse::ingest(std::span<const supremm::JobSummary> jobs) {
+  jobs_.insert(jobs_.end(), jobs.begin(), jobs.end());
+}
+
+std::vector<const supremm::JobSummary*> Warehouse::query(
+    const Filter& filter) const {
+  std::vector<const supremm::JobSummary*> out;
+  for (const auto& job : jobs_) {
+    if (filter.matches(job)) out.push_back(&job);
+  }
+  return out;
+}
+
+namespace {
+
+std::string group_of(const supremm::JobSummary& job, Dimension dimension) {
+  switch (dimension) {
+    case Dimension::kApplication:
+      return job.application.empty() ? "(unknown)" : job.application;
+    case Dimension::kCategory:
+      return job.category.empty() ? "(unknown)" : job.category;
+    case Dimension::kLabelSource:
+      switch (job.label_source) {
+        case supremm::LabelSource::kIdentified:
+          return "Identified";
+        case supremm::LabelSource::kUncategorized:
+          return "Uncategorized";
+        case supremm::LabelSource::kNotAvailable:
+          return "NA";
+      }
+      return "?";
+    case Dimension::kJobSize:
+      return job_size_bucket(job.nodes);
+    case Dimension::kExitStatus:
+      return job.exit_code == 0 ? "success" : "failure";
+    case Dimension::kMonth:
+      return month_bucket(job.start_epoch_seconds);
+  }
+  return "?";
+}
+
+double contribution(const supremm::JobSummary& job, Statistic statistic) {
+  const double wall_hours = job.wall_seconds / 3600.0;
+  switch (statistic) {
+    case Statistic::kJobCount:
+      return 1.0;
+    case Statistic::kCpuHours:
+      return wall_hours * job.nodes * job.cores_per_node;
+    case Statistic::kNodeHours:
+      return wall_hours * job.nodes;
+    case Statistic::kTotalWallHours:
+    case Statistic::kAvgWallHours:
+      return wall_hours;
+    case Statistic::kAvgCpuUser:
+      return job.mean_of(supremm::MetricId::kCpuUser);
+    case Statistic::kAvgMemUsedGb:
+      return job.mean_of(supremm::MetricId::kMemUsed);
+  }
+  return 0.0;
+}
+
+bool is_average(Statistic statistic) {
+  return statistic == Statistic::kAvgWallHours ||
+         statistic == Statistic::kAvgCpuUser ||
+         statistic == Statistic::kAvgMemUsedGb;
+}
+
+}  // namespace
+
+std::vector<GroupRow> Warehouse::aggregate(Dimension dimension,
+                                           Statistic statistic,
+                                           const Filter& filter) const {
+  std::map<std::string, GroupRow> groups;
+  for (const auto& job : jobs_) {
+    if (!filter.matches(job)) continue;
+    const std::string key = group_of(job, dimension);
+    auto& row = groups[key];
+    row.group = key;
+    row.value += contribution(job, statistic);
+    ++row.job_count;
+  }
+  std::vector<GroupRow> out;
+  out.reserve(groups.size());
+  for (auto& [key, row] : groups) {
+    if (is_average(statistic) && row.job_count > 0) {
+      row.value /= static_cast<double>(row.job_count);
+    }
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const GroupRow& a, const GroupRow& b) {
+    return a.value > b.value;
+  });
+  return out;
+}
+
+std::string Warehouse::report(Dimension dimension, Statistic statistic,
+                              const Filter& filter) const {
+  const auto rows = aggregate(dimension, statistic, filter);
+  TextTable table({dimension_name(dimension), statistic_name(statistic),
+                   "jobs"});
+  for (const auto& row : rows) {
+    table.add_row({row.group, format_double(row.value, 2),
+                   std::to_string(row.job_count)});
+  }
+  return table.render();
+}
+
+}  // namespace xdmodml::xdmod

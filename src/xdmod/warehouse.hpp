@@ -1,0 +1,95 @@
+// A miniature XDMoD-style data warehouse.
+//
+// XDMoD ingests job records and serves aggregate metrics (jobs, CPU
+// hours, wall time, ...) broken down by dimensions (application, job
+// size, ...).  This in-memory warehouse reproduces that ingest → filter →
+// group-by → aggregate flow for SUPReMM job summaries, enough to back the
+// center-report example and the usage summaries the benches print.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "supremm/job_summary.hpp"
+
+namespace xdmodml::xdmod {
+
+/// Group-by dimensions.
+enum class Dimension {
+  kApplication,
+  kCategory,
+  kLabelSource,   ///< Identified / Uncategorized / NA
+  kJobSize,       ///< node-count buckets
+  kExitStatus,    ///< success / failure by exit code
+  kMonth,         ///< start-time month ("month 00", "month 01", ...)
+};
+
+/// Month bucket of a start timestamp (30-day months from the epoch).
+std::string month_bucket(double start_epoch_seconds);
+
+/// Aggregate statistics.
+enum class Statistic {
+  kJobCount,
+  kCpuHours,       ///< nodes * cores * wall
+  kNodeHours,      ///< nodes * wall
+  kTotalWallHours,
+  kAvgWallHours,
+  kAvgCpuUser,     ///< job-mean CPU_USER, averaged over jobs
+  kAvgMemUsedGb,
+};
+
+const char* dimension_name(Dimension dimension);
+const char* statistic_name(Statistic statistic);
+
+/// XDMoD-style node-count buckets ("1", "2-4", "5-16", "17-64", "65+").
+std::string job_size_bucket(std::uint32_t nodes);
+
+/// Row filter for queries.
+struct Filter {
+  std::optional<std::string> application;
+  std::optional<std::string> category;
+  std::optional<supremm::LabelSource> label_source;
+  std::optional<std::uint32_t> min_nodes;
+  std::optional<std::uint32_t> max_nodes;
+  std::optional<double> start_after;   ///< epoch seconds, inclusive
+  std::optional<double> start_before;  ///< epoch seconds, exclusive
+
+  bool matches(const supremm::JobSummary& job) const;
+};
+
+/// One output row of an aggregate query.
+struct GroupRow {
+  std::string group;
+  double value = 0.0;
+  std::size_t job_count = 0;
+};
+
+/// The warehouse itself.
+class Warehouse {
+ public:
+  void ingest(supremm::JobSummary job);
+  void ingest(std::span<const supremm::JobSummary> jobs);
+
+  std::size_t size() const { return jobs_.size(); }
+
+  /// All jobs matching a filter (pointers remain valid until the next
+  /// ingest).
+  std::vector<const supremm::JobSummary*> query(const Filter& filter) const;
+
+  /// Aggregate `statistic` grouped by `dimension`, over filtered rows.
+  /// Rows are sorted by descending value.
+  std::vector<GroupRow> aggregate(Dimension dimension, Statistic statistic,
+                                  const Filter& filter = {}) const;
+
+  /// Renders an aggregate as an ASCII report table.
+  std::string report(Dimension dimension, Statistic statistic,
+                     const Filter& filter = {}) const;
+
+ private:
+  std::vector<supremm::JobSummary> jobs_;
+};
+
+}  // namespace xdmodml::xdmod

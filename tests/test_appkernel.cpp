@@ -1,0 +1,181 @@
+// Tests for the application-kernel QoS module: history generation,
+// CUSUM degradation detection, and the regression dataset.
+#include "xdmod/appkernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xdmodml::xdmod {
+namespace {
+
+AppKernelHistoryConfig short_history() {
+  AppKernelHistoryConfig cfg;
+  cfg.days = 60.0;
+  cfg.runs_per_day = 1.0;
+  cfg.node_counts = {1, 4};
+  return cfg;
+}
+
+TEST(AppKernelStore, AddAndSeries) {
+  AppKernelStore store;
+  store.add({"hpl", 1.0, 4, 1.0, 100.0, 50.0});
+  store.add({"hpl", 0.5, 4, 1.0, 110.0, 45.0});
+  store.add({"hpl", 2.0, 1, 1.0, 300.0, 20.0});
+  store.add({"graph500", 1.0, 4, 1.0, 200.0, 10.0});
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.kernels(),
+            (std::vector<std::string>{"hpl", "graph500"}));
+  const auto series = store.series("hpl", 4);
+  ASSERT_EQ(series.size(), 2u);
+  // Ordered by day.
+  EXPECT_DOUBLE_EQ(series[0].day, 0.5);
+  EXPECT_DOUBLE_EQ(series[1].day, 1.0);
+}
+
+TEST(GenerateHistory, CountsAndScaling) {
+  Rng rng(1);
+  const std::vector<std::string> kernels{"hpl", "nwchem"};
+  const auto runs =
+      generate_appkernel_history(kernels, short_history(), {}, rng);
+  // 2 kernels x 60 days x 1/day x 2 node counts.
+  EXPECT_EQ(runs.size(), 240u);
+  // Strong scaling: more nodes -> shorter wall for the same kernel.
+  AppKernelStore store;
+  store.add(runs);
+  const auto s1 = store.series("hpl", 1);
+  const auto s4 = store.series("hpl", 4);
+  double w1 = 0.0;
+  double w4 = 0.0;
+  for (const auto& r : s1) w1 += r.wall_seconds;
+  for (const auto& r : s4) w4 += r.wall_seconds;
+  EXPECT_GT(w1 / static_cast<double>(s1.size()),
+            w4 / static_cast<double>(s4.size()));
+}
+
+TEST(GenerateHistory, ValidatesInputs) {
+  Rng rng(2);
+  EXPECT_THROW(generate_appkernel_history({}, short_history(), {}, rng),
+               InvalidArgument);
+  AppKernelHistoryConfig bad = short_history();
+  bad.days = 0.0;
+  const std::vector<std::string> kernels{"hpl"};
+  EXPECT_THROW(generate_appkernel_history(kernels, bad, {}, rng),
+               InvalidArgument);
+}
+
+TEST(Cusum, DetectsInjectedDegradation) {
+  Rng rng(3);
+  const std::vector<std::string> kernels{"hpl"};
+  const std::vector<DegradationEvent> events{{40.0, 60.0, 1.4}};
+  const auto runs =
+      generate_appkernel_history(kernels, short_history(), events, rng);
+  AppKernelStore store;
+  store.add(runs);
+  const auto series = store.series("hpl", 4);
+  const auto alarms = detect_degradations(series, {});
+  ASSERT_FALSE(alarms.empty());
+  // The first alarm should fire shortly after day 40.
+  const double first_alarm_day = series[alarms.front()].day;
+  EXPECT_GT(first_alarm_day, 39.0);
+  EXPECT_LT(first_alarm_day, 48.0);
+}
+
+TEST(Cusum, QuietOnHealthySeries) {
+  Rng rng(4);
+  const std::vector<std::string> kernels{"hpl"};
+  const auto runs =
+      generate_appkernel_history(kernels, short_history(), {}, rng);
+  AppKernelStore store;
+  store.add(runs);
+  const auto series = store.series("hpl", 1);
+  const auto alarms = detect_degradations(series, {});
+  EXPECT_TRUE(alarms.empty());
+}
+
+TEST(Cusum, RejectsShortSeries) {
+  const std::vector<AppKernelRun> series(5);
+  EXPECT_THROW(detect_degradations(series, {}), InvalidArgument);
+}
+
+TEST(Ewma, DetectsInjectedDegradation) {
+  Rng rng(5);
+  const std::vector<std::string> kernels{"hpl"};
+  const std::vector<DegradationEvent> events{{40.0, 60.0, 1.4}};
+  const auto runs =
+      generate_appkernel_history(kernels, short_history(), events, rng);
+  AppKernelStore store;
+  store.add(runs);
+  const auto series = store.series("hpl", 4);
+  const auto alarms = detect_degradations_ewma(series, {});
+  ASSERT_FALSE(alarms.empty());
+  const double first_alarm_day = series[alarms.front()].day;
+  EXPECT_GT(first_alarm_day, 39.0);
+  EXPECT_LT(first_alarm_day, 50.0);
+}
+
+TEST(Ewma, QuietOnHealthySeries) {
+  Rng rng(6);
+  const std::vector<std::string> kernels{"hpl"};
+  const auto runs =
+      generate_appkernel_history(kernels, short_history(), {}, rng);
+  AppKernelStore store;
+  store.add(runs);
+  const auto series = store.series("hpl", 1);
+  EXPECT_TRUE(detect_degradations_ewma(series, {}).empty());
+}
+
+TEST(Ewma, SlowerThanCusumOnSmallShift) {
+  // A small sustained shift: CUSUM accumulates evidence and should alarm
+  // no later than the (3σ-limited) EWMA.
+  Rng rng(7);
+  const std::vector<std::string> kernels{"hpl"};
+  AppKernelHistoryConfig cfg = short_history();
+  cfg.runs_per_day = 2.0;
+  const std::vector<DegradationEvent> events{{30.0, 60.0, 1.08}};
+  const auto runs = generate_appkernel_history(kernels, cfg, events, rng);
+  AppKernelStore store;
+  store.add(runs);
+  const auto series = store.series("hpl", 4);
+  const auto cusum_alarms = detect_degradations(series, {});
+  const auto ewma_alarms = detect_degradations_ewma(series, {});
+  ASSERT_FALSE(cusum_alarms.empty());
+  if (!ewma_alarms.empty()) {
+    EXPECT_LE(series[cusum_alarms.front()].day,
+              series[ewma_alarms.front()].day + 1.0);
+  }
+}
+
+TEST(Ewma, Validation) {
+  const std::vector<AppKernelRun> series(5);
+  EXPECT_THROW(detect_degradations_ewma(series, {}), InvalidArgument);
+  Rng rng(8);
+  const std::vector<std::string> kernels{"hpl"};
+  const auto runs =
+      generate_appkernel_history(kernels, short_history(), {}, rng);
+  AppKernelStore store;
+  store.add(runs);
+  const auto ok = store.series("hpl", 1);
+  EwmaConfig bad;
+  bad.lambda = 0.0;
+  EXPECT_THROW(detect_degradations_ewma(ok, bad), InvalidArgument);
+}
+
+TEST(RegressionDataset, OneHotPlusShapeFeatures) {
+  AppKernelStore store;
+  store.add({"hpl", 1.0, 4, 1.0, 100.0, 50.0});
+  store.add({"nwchem", 1.0, 2, 2.0, 400.0, 20.0});
+  const auto ds = store.regression_dataset();
+  EXPECT_EQ(ds.num_features(), 4u);  // 2 one-hot + nodes + input_scale
+  EXPECT_EQ(ds.targets.size(), 2u);
+  EXPECT_DOUBLE_EQ(ds.X(0, 0), 1.0);  // is_hpl
+  EXPECT_DOUBLE_EQ(ds.X(1, 1), 1.0);  // is_nwchem
+  EXPECT_DOUBLE_EQ(ds.X(1, 2), 2.0);  // nodes
+  EXPECT_DOUBLE_EQ(ds.targets[1], 400.0);
+  AppKernelStore empty;
+  EXPECT_THROW(empty.regression_dataset(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml::xdmod

@@ -1,0 +1,96 @@
+// Tests for the streaming classification service.
+#include "core/classification_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workload/dataset_helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace xdmodml::core {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen_ = new workload::WorkloadGenerator(
+        workload::WorkloadGenerator::standard({}, 321));
+    const auto train_jobs = gen_->generate_balanced(40);
+    const auto schema = supremm::AttributeSchema::full();
+    const auto train = workload::build_summary_dataset(
+        train_jobs, schema, supremm::label_by_application());
+    JobClassifierConfig cfg;
+    cfg.algorithm = Algorithm::kRandomForest;
+    cfg.forest.num_trees = 60;
+    auto clf = std::make_shared<JobClassifier>(cfg);
+    clf->train(train);
+    clf_ = new std::shared_ptr<const JobClassifier>(std::move(clf));
+  }
+  static void TearDownTestSuite() {
+    delete gen_;
+    delete clf_;
+    gen_ = nullptr;
+    clf_ = nullptr;
+  }
+  static workload::WorkloadGenerator* gen_;
+  static std::shared_ptr<const JobClassifier>* clf_;
+};
+workload::WorkloadGenerator* ServiceTest::gen_ = nullptr;
+std::shared_ptr<const JobClassifier>* ServiceTest::clf_ = nullptr;
+
+TEST_F(ServiceTest, IdentifiedJobsPassThrough) {
+  ClassificationService service(*clf_, 0.9);
+  const auto jobs = gen_->generate_native(20);
+  for (const auto& job : jobs) {
+    const auto result = service.ingest(job.summary);
+    EXPECT_EQ(result.outcome, ClassificationService::Outcome::kIdentified);
+  }
+  EXPECT_EQ(service.stats().identified, 20u);
+  EXPECT_EQ(service.stats().attributed, 0u);
+  EXPECT_EQ(service.warehouse().size(), 20u);
+}
+
+TEST_F(ServiceTest, CommunityNaJobsGetAttributed) {
+  ClassificationService service(*clf_, 0.5);
+  // NA pool of pure community jobs: many should clear the threshold.
+  const auto jobs = gen_->generate_na(60, /*community_fraction=*/1.0);
+  for (const auto& job : jobs) service.ingest(job.summary);
+  EXPECT_GT(service.stats().attributed, 25u);
+  EXPECT_EQ(service.stats().identified, 0u);
+  // Attributed CPU hours recorded per application.
+  EXPECT_FALSE(service.attributed_cpu_hours().empty());
+  // Warehouse sees the attributed application names.
+  xdmod::Filter na_filter;
+  na_filter.label_source = supremm::LabelSource::kNotAvailable;
+  std::size_t with_app = 0;
+  for (const auto* job : service.warehouse().query(na_filter)) {
+    if (!job->application.empty()) ++with_app;
+  }
+  EXPECT_EQ(with_app, service.stats().attributed);
+}
+
+TEST_F(ServiceTest, CustomCodesStayUnresolved) {
+  ClassificationService service(*clf_, 0.9);
+  const auto jobs = gen_->generate_uncategorized(50);
+  for (const auto& job : jobs) service.ingest(job.summary);
+  EXPECT_GT(service.stats().unresolved, 40u);
+}
+
+TEST_F(ServiceTest, ReportMentionsCounts) {
+  ClassificationService service(*clf_, 0.9);
+  service.ingest(gen_->generate_native(1).front().summary);
+  const auto text = service.report();
+  EXPECT_NE(text.find("1 jobs ingested"), std::string::npos);
+  EXPECT_NE(text.find("1 identified"), std::string::npos);
+}
+
+TEST_F(ServiceTest, Validation) {
+  EXPECT_THROW(ClassificationService(*clf_, 1.5), InvalidArgument);
+  EXPECT_THROW(ClassificationService(nullptr, 0.9), InvalidArgument);
+  JobClassifierConfig cfg;
+  const auto untrained = std::make_shared<const JobClassifier>(cfg);
+  EXPECT_THROW(ClassificationService(untrained, 0.9), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml::core

@@ -1,0 +1,130 @@
+// Tests for k-fold cross-validation and the SVM grid search.
+#include "ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/naive_bayes.hpp"
+#include "ml/random_forest.hpp"
+#include "util/error.hpp"
+
+namespace xdmodml::ml {
+namespace {
+
+Dataset make_blobs(std::size_t per_class, double separation,
+                   std::uint64_t seed = 1) {
+  Dataset ds;
+  Rng rng(seed);
+  ds.class_names = {"a", "b", "c"};
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      ds.X.append_row(std::vector<double>{
+          rng.normal(separation * c, 1.0),
+          rng.normal(separation * (c % 2), 1.0)});
+      ds.labels.push_back(c);
+    }
+  }
+  ds.feature_names = {"x", "y"};
+  return ds;
+}
+
+TEST(StratifiedFolds, BalancedAssignment) {
+  Rng rng(2);
+  std::vector<int> labels;
+  for (int i = 0; i < 90; ++i) labels.push_back(i % 3);
+  const auto folds = stratified_folds(labels, 5, rng);
+  ASSERT_EQ(folds.size(), labels.size());
+  // Each fold gets 18 rows, 6 of each class.
+  std::vector<std::vector<int>> class_counts(5, std::vector<int>(3, 0));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_LT(folds[i], 5u);
+    ++class_counts[folds[i]][labels[i]];
+  }
+  for (const auto& counts : class_counts) {
+    for (const int c : counts) EXPECT_EQ(c, 6);
+  }
+}
+
+TEST(StratifiedFolds, RejectsBadInputs) {
+  Rng rng(3);
+  const std::vector<int> labels{0, 1};
+  EXPECT_THROW(stratified_folds(labels, 1, rng), InvalidArgument);
+  EXPECT_THROW(stratified_folds({}, 3, rng), InvalidArgument);
+}
+
+TEST(CrossValidate, SeparableDataScoresHigh) {
+  const auto ds = make_blobs(60, 8.0);
+  const auto result = cross_validate(
+      ds,
+      [] {
+        ForestConfig cfg;
+        cfg.num_trees = 40;
+        return std::make_unique<RandomForestClassifier>(cfg);
+      },
+      4);
+  EXPECT_EQ(result.fold_accuracies.size(), 4u);
+  EXPECT_GT(result.mean_accuracy, 0.95);
+  EXPECT_LT(result.stddev_accuracy, 0.1);
+}
+
+TEST(CrossValidate, OverlappingDataScoresLower) {
+  const auto separable = make_blobs(60, 8.0);
+  const auto overlapping = make_blobs(60, 0.8);
+  auto factory = [] {
+    return std::make_unique<NaiveBayesClassifier>();
+  };
+  const auto good = cross_validate(separable, factory, 3);
+  const auto bad = cross_validate(overlapping, factory, 3);
+  EXPECT_GT(good.mean_accuracy, bad.mean_accuracy + 0.2);
+}
+
+TEST(CrossValidate, DeterministicForSeed) {
+  const auto ds = make_blobs(40, 4.0);
+  auto factory = [] {
+    ForestConfig cfg;
+    cfg.num_trees = 20;
+    return std::make_unique<RandomForestClassifier>(cfg, 5);
+  };
+  const auto a = cross_validate(ds, factory, 3, 9);
+  const auto b = cross_validate(ds, factory, 3, 9);
+  EXPECT_EQ(a.fold_accuracies, b.fold_accuracies);
+}
+
+TEST(CrossValidate, RejectsUnlabeledAndMissingFactory) {
+  Dataset ds = make_blobs(10, 4.0);
+  EXPECT_THROW(cross_validate(ds, nullptr, 3), InvalidArgument);
+  ds.labels.clear();
+  EXPECT_THROW(cross_validate(ds,
+                              [] {
+                                return std::make_unique<
+                                    NaiveBayesClassifier>();
+                              },
+                              3),
+               InvalidArgument);
+}
+
+TEST(GridSearch, FindsWorkingRegion) {
+  const auto ds = make_blobs(40, 5.0);
+  const std::vector<double> gammas{0.001, 0.1, 10.0};
+  const std::vector<double> cs{1.0, 100.0};
+  const auto points = svm_grid_search(ds, gammas, cs, 3, 4);
+  ASSERT_EQ(points.size(), 6u);
+  // Sorted best-first.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i - 1].cv_accuracy, points[i].cv_accuracy);
+  }
+  EXPECT_GT(points.front().cv_accuracy, 0.9);
+  // γ = 10 on standardized 2-D blobs is pathologically local: it cannot
+  // be the best cell.
+  EXPECT_NE(points.front().gamma, 10.0);
+}
+
+TEST(GridSearch, RejectsEmptyGrid) {
+  const auto ds = make_blobs(10, 5.0);
+  EXPECT_THROW(svm_grid_search(ds, {}, std::vector<double>{1.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml::ml

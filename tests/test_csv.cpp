@@ -1,0 +1,86 @@
+// Tests for CSV escaping, writing and parsing (round-trip included).
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xdmodml {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row(std::vector<std::string>{"x", "y"});
+  w.write_row(std::vector<double>{1.5, -2.0});
+  EXPECT_EQ(os.str(), "x,y\n1.5,-2\n");
+}
+
+TEST(CsvParse, SimpleLine) {
+  const auto fields = parse_csv_line("a,b,c");
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParse, EmptyFieldsKept) {
+  const auto fields = parse_csv_line("a,,c,");
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "", "c", ""}));
+}
+
+TEST(CsvParse, QuotedCommaAndQuote) {
+  const auto fields = parse_csv_line("\"a,b\",\"say \"\"hi\"\"\"");
+  EXPECT_EQ(fields, (std::vector<std::string>{"a,b", "say \"hi\""}));
+}
+
+TEST(CsvParse, ToleratesCrlf) {
+  const auto fields = parse_csv_line("a,b\r");
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvParse, DocumentHeaderAndRows) {
+  std::istringstream in("name,value\nfoo,1\nbar,2\n");
+  const auto doc = parse_csv(in);
+  EXPECT_EQ(doc.header, (std::vector<std::string>{"name", "value"}));
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][0], "bar");
+  EXPECT_EQ(doc.column_index("value"), 1u);
+  EXPECT_THROW(doc.column_index("missing"), InvalidArgument);
+}
+
+TEST(CsvParse, RejectsRaggedRows) {
+  std::istringstream in("a,b\n1,2,3\n");
+  EXPECT_THROW(parse_csv(in), InvalidArgument);
+}
+
+TEST(CsvParse, RoundTrip) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row(std::vector<std::string>{"metric", "note"});
+  w.write_row(std::vector<std::string>{"cpu,user", "say \"hi\""});
+  std::istringstream in(os.str());
+  const auto doc = parse_csv(in);
+  EXPECT_EQ(doc.header[0], "metric");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "cpu,user");
+  EXPECT_EQ(doc.rows[0][1], "say \"hi\"");
+}
+
+}  // namespace
+}  // namespace xdmodml

@@ -1,0 +1,189 @@
+// Tests for Dataset, splits, balanced sampling, standardization, encoding.
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace xdmodml::ml {
+namespace {
+
+Dataset make_dataset(std::size_t per_class, std::size_t classes) {
+  Dataset ds;
+  for (std::size_t c = 0; c < classes; ++c) {
+    ds.class_names.push_back("class" + std::to_string(c));
+    for (std::size_t i = 0; i < per_class; ++i) {
+      ds.X.append_row(std::vector<double>{static_cast<double>(c),
+                                          static_cast<double>(i)});
+      ds.labels.push_back(static_cast<int>(c));
+    }
+  }
+  ds.feature_names = {"f0", "f1"};
+  return ds;
+}
+
+TEST(Dataset, ValidateAcceptsConsistent) {
+  const auto ds = make_dataset(3, 2);
+  EXPECT_NO_THROW(ds.validate());
+  EXPECT_EQ(ds.size(), 6u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_EQ(ds.num_classes(), 2u);
+}
+
+TEST(Dataset, ValidateRejectsBadLabelRange) {
+  auto ds = make_dataset(2, 2);
+  ds.labels[0] = 5;
+  EXPECT_THROW(ds.validate(), InvalidArgument);
+}
+
+TEST(Dataset, ValidateRejectsLengthMismatch) {
+  auto ds = make_dataset(2, 2);
+  ds.labels.pop_back();
+  EXPECT_THROW(ds.validate(), InvalidArgument);
+}
+
+TEST(Dataset, ValidateRejectsBothTargets) {
+  auto ds = make_dataset(2, 2);
+  ds.targets.assign(ds.size(), 1.0);
+  EXPECT_THROW(ds.validate(), InvalidArgument);
+}
+
+TEST(Dataset, SubsetCarriesLabelsAndNames) {
+  const auto ds = make_dataset(3, 2);
+  const std::vector<std::size_t> idx{0, 4};
+  const auto sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.labels, (std::vector<int>{0, 1}));
+  EXPECT_EQ(sub.feature_names, ds.feature_names);
+  EXPECT_EQ(sub.class_names, ds.class_names);
+}
+
+TEST(Dataset, SelectFeaturesReordersColumns) {
+  const auto ds = make_dataset(2, 2);
+  const std::vector<std::size_t> cols{1};
+  const auto sub = ds.select_features(cols);
+  EXPECT_EQ(sub.num_features(), 1u);
+  EXPECT_EQ(sub.feature_names, (std::vector<std::string>{"f1"}));
+  EXPECT_DOUBLE_EQ(sub.X(1, 0), 1.0);
+  EXPECT_EQ(sub.labels.size(), ds.labels.size());
+}
+
+TEST(Dataset, ClassCounts) {
+  const auto ds = make_dataset(4, 3);
+  const auto counts = ds.class_counts();
+  EXPECT_EQ(counts, (std::vector<std::size_t>{4, 4, 4}));
+}
+
+TEST(Split, StratifiedPreservesClassRatios) {
+  const auto ds = make_dataset(100, 3);
+  Rng rng(1);
+  const auto split = stratified_split(ds, 0.7, rng);
+  EXPECT_EQ(split.train.size(), 210u);
+  EXPECT_EQ(split.test.size(), 90u);
+  std::vector<int> train_counts(3, 0);
+  for (const auto i : split.train) ++train_counts[ds.labels[i]];
+  for (const int c : train_counts) EXPECT_EQ(c, 70);
+}
+
+TEST(Split, TrainAndTestDisjointAndComplete) {
+  const auto ds = make_dataset(10, 2);
+  Rng rng(2);
+  const auto split = stratified_split(ds, 0.5, rng);
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), ds.size());
+}
+
+TEST(Split, ExtremeFractions) {
+  const auto ds = make_dataset(10, 2);
+  Rng rng(3);
+  EXPECT_TRUE(stratified_split(ds, 0.0, rng).train.empty());
+  EXPECT_TRUE(stratified_split(ds, 1.0, rng).test.empty());
+  EXPECT_THROW(stratified_split(ds, 1.5, rng), InvalidArgument);
+}
+
+TEST(BalancedSample, TakesPerClassUpToAvailable) {
+  Dataset ds = make_dataset(10, 2);
+  // Make class 1 scarce: drop to 4 rows.
+  std::vector<std::size_t> keep;
+  int kept1 = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (ds.labels[i] == 1 && ++kept1 > 4) continue;
+    keep.push_back(i);
+  }
+  ds = ds.subset(keep);
+  Rng rng(4);
+  const auto sample = balanced_sample(ds, 6, rng);
+  std::vector<int> counts(2, 0);
+  for (const auto i : sample) ++counts[ds.labels[i]];
+  EXPECT_EQ(counts[0], 6);
+  EXPECT_EQ(counts[1], 4);  // all it had
+}
+
+TEST(BalancedSample, NoDuplicates) {
+  const auto ds = make_dataset(20, 2);
+  Rng rng(5);
+  const auto sample = balanced_sample(ds, 15, rng);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), sample.size());
+}
+
+TEST(RandomSample, SizesAndBounds) {
+  Rng rng(6);
+  const auto s = random_sample(50, 20, rng);
+  EXPECT_EQ(s.size(), 20u);
+  for (const auto i : s) EXPECT_LT(i, 50u);
+  EXPECT_EQ(random_sample(5, 100, rng).size(), 5u);  // clamps
+}
+
+TEST(Standardizer, TransformsToZeroMeanUnitVariance) {
+  auto X = Matrix::from_rows({{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}});
+  Standardizer s;
+  const auto Z = s.fit_transform(X);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < 3; ++r) m += Z(r, c);
+    EXPECT_NEAR(m / 3.0, 0.0, 1e-12);
+  }
+  EXPECT_NEAR(Z(0, 0), -1.0, 1e-12);
+  EXPECT_NEAR(Z(2, 0), 1.0, 1e-12);
+}
+
+TEST(Standardizer, ConstantColumnMapsToZero) {
+  auto X = Matrix::from_rows({{5.0}, {5.0}, {5.0}});
+  Standardizer s;
+  const auto Z = s.fit_transform(X);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(Z(r, 0), 0.0);
+}
+
+TEST(Standardizer, RequiresFitFirst) {
+  Standardizer s;
+  const auto X = Matrix::from_rows({{1.0}});
+  EXPECT_THROW(s.transform(X), InvalidArgument);
+  std::vector<double> row{1.0};
+  EXPECT_THROW(s.transform_row(row), InvalidArgument);
+}
+
+TEST(Standardizer, RejectsWidthMismatch) {
+  Standardizer s;
+  s.fit(Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}}));
+  EXPECT_THROW(s.transform(Matrix::from_rows({{1.0}})), InvalidArgument);
+}
+
+TEST(LabelEncoder, EncodeDecodeRoundTrip) {
+  LabelEncoder enc;
+  EXPECT_EQ(enc.encode("VASP"), 0);
+  EXPECT_EQ(enc.encode("NAMD"), 1);
+  EXPECT_EQ(enc.encode("VASP"), 0);  // idempotent
+  EXPECT_EQ(enc.size(), 2u);
+  EXPECT_EQ(enc.decode(1), "NAMD");
+  EXPECT_THROW(enc.decode(2), InvalidArgument);
+  EXPECT_EQ(enc.lookup("NAMD").value(), 1);
+  EXPECT_FALSE(enc.lookup("LAMMPS").has_value());
+}
+
+}  // namespace
+}  // namespace xdmodml::ml

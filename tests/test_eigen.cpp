@@ -1,0 +1,115 @@
+// Tests for the Jacobi symmetric eigensolver.
+#include "util/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml {
+namespace {
+
+TEST(Eigen, DiagonalMatrixTrivial) {
+  auto a = Matrix::from_rows({{3.0, 0.0}, {0.0, 1.0}});
+  const auto eig = eigen_symmetric(a);
+  ASSERT_EQ(eig.eigenvalues.size(), 2u);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+  auto a = Matrix::from_rows({{2.0, 1.0}, {1.0, 2.0}});
+  const auto eig = eigen_symmetric(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(eig.eigenvectors(0, 0)), 1.0 / std::sqrt(2.0),
+              1e-8);
+}
+
+TEST(Eigen, ReconstructsRandomSymmetric) {
+  Rng rng(7);
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.normal();
+      a(j, i) = a(i, j);
+    }
+  }
+  const auto eig = eigen_symmetric(a);
+  // A == V diag(w) V^T
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        s += eig.eigenvectors(i, k) * eig.eigenvalues[k] *
+             eig.eigenvectors(j, k);
+      }
+      EXPECT_NEAR(s, a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(Eigen, EigenvectorsOrthonormal) {
+  Rng rng(11);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.normal();
+      a(j, i) = a(i, j);
+    }
+  }
+  const auto eig = eigen_symmetric(a);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += eig.eigenvectors(i, p) * eig.eigenvectors(i, q);
+      }
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Eigen, EigenvaluesDescending) {
+  Rng rng(13);
+  Matrix a(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i; j < 6; ++j) {
+      a(i, j) = rng.normal();
+      a(j, i) = a(i, j);
+    }
+  }
+  const auto eig = eigen_symmetric(a);
+  for (std::size_t i = 1; i < eig.eigenvalues.size(); ++i) {
+    EXPECT_GE(eig.eigenvalues[i - 1], eig.eigenvalues[i]);
+  }
+}
+
+TEST(Eigen, PsdMatrixNonNegativeSpectrum) {
+  // Gram matrices are PSD; all eigenvalues must be >= -eps.
+  Rng rng(17);
+  Matrix b(10, 4);
+  for (auto& v : b.data()) v = rng.normal();
+  Matrix gram(4, 4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      for (std::size_t r = 0; r < 10; ++r) gram(i, j) += b(r, i) * b(r, j);
+    }
+  }
+  const auto eig = eigen_symmetric(gram);
+  for (const auto w : eig.eigenvalues) EXPECT_GT(w, -1e-9);
+}
+
+TEST(Eigen, RejectsNonSquareAndAsymmetric) {
+  EXPECT_THROW(eigen_symmetric(Matrix(2, 3)), InvalidArgument);
+  auto bad = Matrix::from_rows({{1.0, 2.0}, {3.0, 1.0}});
+  EXPECT_THROW(eigen_symmetric(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml

@@ -1,0 +1,46 @@
+// Tests for the error types and the XDMODML_CHECK macro.
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xdmodml {
+namespace {
+
+TEST(Error, HierarchyIsCatchable) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw ComputeError("x"), Error);
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+TEST(Check, PassesOnTrue) {
+  EXPECT_NO_THROW(XDMODML_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, ThrowsInvalidArgumentOnFalse) {
+  EXPECT_THROW(XDMODML_CHECK(false, "always fails"), InvalidArgument);
+}
+
+TEST(Check, MessageCarriesExpressionAndText) {
+  try {
+    XDMODML_CHECK(2 > 3, "two is not greater");
+    FAIL() << "check did not throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not greater"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, EvaluatesExpressionOnce) {
+  int calls = 0;
+  const auto bump = [&calls] {
+    ++calls;
+    return true;
+  };
+  XDMODML_CHECK(bump(), "side effect");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace xdmodml

@@ -1,0 +1,201 @@
+// Tests for JobSummary extraction, node aggregation and the efficiency
+// rules, plus dataset building.
+#include "supremm/dataset_builder.hpp"
+#include "supremm/efficiency.hpp"
+#include "supremm/job_summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xdmodml::supremm {
+namespace {
+
+NodeSummary node_with(MetricId id, double value) {
+  NodeSummary n;
+  n.means[static_cast<std::size_t>(id)] = value;
+  return n;
+}
+
+TEST(AggregateNodes, MeanAndCovAcrossNodes) {
+  std::vector<NodeSummary> nodes;
+  for (const double v : {10.0, 12.0, 8.0}) {
+    nodes.push_back(node_with(MetricId::kMemUsed, v));
+  }
+  JobSummary job;
+  job.cores_per_node = 16;
+  aggregate_nodes(nodes, job);
+  EXPECT_DOUBLE_EQ(job.mean_of(MetricId::kMemUsed), 10.0);
+  // COV = sd/mean with sd = 2.
+  EXPECT_NEAR(job.cov_of(MetricId::kMemUsed), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(job.mean_of(MetricId::kNodes), 3.0);
+  EXPECT_EQ(job.nodes, 3u);
+  EXPECT_DOUBLE_EQ(job.mean_of(MetricId::kCoresPerNode), 16.0);
+}
+
+TEST(AggregateNodes, SingleNodeHasZeroCov) {
+  std::vector<NodeSummary> nodes{node_with(MetricId::kCpuUser, 0.9)};
+  JobSummary job;
+  aggregate_nodes(nodes, job);
+  EXPECT_DOUBLE_EQ(job.cov_of(MetricId::kCpuUser), 0.0);
+  EXPECT_DOUBLE_EQ(job.mean_of(MetricId::kNodes), 1.0);
+}
+
+TEST(AggregateNodes, RejectsEmpty) {
+  JobSummary job;
+  EXPECT_THROW(aggregate_nodes({}, job), InvalidArgument);
+}
+
+TEST(JobSummary, ExtractFollowsSchema) {
+  JobSummary job;
+  job.set_mean(MetricId::kCpi, 1.5);
+  job.set_cov(MetricId::kCpi, 0.25);
+  const AttributeSchema schema({{MetricId::kCpi, false},
+                                {MetricId::kCpi, true}});
+  const auto features = job.extract(schema);
+  ASSERT_EQ(features.size(), 2u);
+  EXPECT_DOUBLE_EQ(features[0], 1.5);
+  EXPECT_DOUBLE_EQ(features[1], 0.25);
+}
+
+TEST(BuildFeatureMatrix, ShapeAndValues) {
+  JobSummary a;
+  a.set_mean(MetricId::kCpi, 1.0);
+  JobSummary b;
+  b.set_mean(MetricId::kCpi, 2.0);
+  const std::vector<JobSummary> jobs{a, b};
+  const AttributeSchema schema({{MetricId::kCpi, false}});
+  const auto X = build_feature_matrix(jobs, schema);
+  EXPECT_EQ(X.rows(), 2u);
+  EXPECT_EQ(X.cols(), 1u);
+  EXPECT_DOUBLE_EQ(X(1, 0), 2.0);
+}
+
+JobSummary efficient_job() {
+  JobSummary job;
+  job.set_mean(MetricId::kCpuUser, 0.9);
+  job.set_mean(MetricId::kCpi, 0.8);
+  job.set_mean(MetricId::kCpld, 3.0);
+  job.set_mean(MetricId::kCatastrophe, 0.9);
+  job.set_mean(MetricId::kCpuUserImbalance, 0.1);
+  return job;
+}
+
+TEST(EfficiencyRules, EfficientJobPasses) {
+  const EfficiencyRules rules;
+  EXPECT_FALSE(rules.is_inefficient(efficient_job()));
+}
+
+TEST(EfficiencyRules, EachRuleFiresIndependently) {
+  const EfficiencyRules rules;
+  {
+    auto job = efficient_job();
+    job.set_mean(MetricId::kCpuUser, 0.2);
+    const auto v = rules.evaluate(job);
+    EXPECT_TRUE(v.inefficient);
+    EXPECT_TRUE(v.low_cpu_user);
+    EXPECT_FALSE(v.high_cpi);
+  }
+  {
+    auto job = efficient_job();
+    job.set_mean(MetricId::kCpi, 3.0);
+    EXPECT_TRUE(rules.evaluate(job).high_cpi);
+  }
+  {
+    auto job = efficient_job();
+    job.set_mean(MetricId::kCpld, 8.0);
+    EXPECT_TRUE(rules.evaluate(job).high_cpld);
+  }
+  {
+    auto job = efficient_job();
+    job.set_mean(MetricId::kCatastrophe, 0.1);
+    EXPECT_TRUE(rules.evaluate(job).catastrophe);
+  }
+  {
+    auto job = efficient_job();
+    job.set_mean(MetricId::kCpuUserImbalance, 2.0);
+    EXPECT_TRUE(rules.evaluate(job).imbalance);
+  }
+}
+
+TEST(EfficiencyRules, ThresholdsConfigurable) {
+  EfficiencyRules rules;
+  rules.min_cpu_user = 0.95;
+  EXPECT_TRUE(rules.is_inefficient(efficient_job()));
+}
+
+JobSummary labeled_job(const std::string& app, const std::string& category,
+                       LabelSource source, double cpi) {
+  JobSummary job;
+  job.application = app;
+  job.category = category;
+  job.label_source = source;
+  job.set_mean(MetricId::kCpi, cpi);
+  return job;
+}
+
+TEST(DatasetBuilder, LabelByApplicationDropsUnidentified) {
+  const std::vector<JobSummary> jobs{
+      labeled_job("VASP", "QC,ES", LabelSource::kIdentified, 1.0),
+      labeled_job("", "", LabelSource::kUncategorized, 2.0),
+      labeled_job("NAMD", "MD", LabelSource::kIdentified, 3.0),
+  };
+  const AttributeSchema schema({{MetricId::kCpi, false}});
+  const auto ds = build_dataset(jobs, schema, label_by_application());
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.class_names,
+            (std::vector<std::string>{"VASP", "NAMD"}));
+}
+
+TEST(DatasetBuilder, ClassOrderPinsCodes) {
+  const std::vector<JobSummary> jobs{
+      labeled_job("NAMD", "MD", LabelSource::kIdentified, 1.0),
+  };
+  const AttributeSchema schema({{MetricId::kCpi, false}});
+  const std::vector<std::string> order{"VASP", "NAMD"};
+  const auto ds = build_dataset(jobs, schema, label_by_application(), order);
+  EXPECT_EQ(ds.class_names.size(), 2u);
+  EXPECT_EQ(ds.labels[0], 1);  // NAMD pinned to code 1
+}
+
+TEST(DatasetBuilder, LabelByCategory) {
+  const std::vector<JobSummary> jobs{
+      labeled_job("VASP", "QC,ES", LabelSource::kIdentified, 1.0),
+      labeled_job("NAMD", "MD", LabelSource::kIdentified, 2.0),
+  };
+  const AttributeSchema schema({{MetricId::kCpi, false}});
+  const auto ds = build_dataset(jobs, schema, label_by_category());
+  EXPECT_EQ(ds.class_names, (std::vector<std::string>{"QC,ES", "MD"}));
+}
+
+TEST(DatasetBuilder, LabelByEfficiencyAndExit) {
+  auto good = efficient_job();
+  auto bad = efficient_job();
+  bad.set_mean(MetricId::kCpi, 5.0);
+  bad.exit_code = 1;
+  const std::vector<JobSummary> jobs{good, bad};
+  const AttributeSchema schema({{MetricId::kCpi, false}});
+  const auto eff = build_dataset(jobs, schema, label_by_efficiency());
+  EXPECT_EQ(eff.class_names[eff.labels[0]], "efficient");
+  EXPECT_EQ(eff.class_names[eff.labels[1]], "inefficient");
+  const auto exit = build_dataset(jobs, schema, label_by_exit_status());
+  EXPECT_EQ(exit.class_names[exit.labels[0]], "success");
+  EXPECT_EQ(exit.class_names[exit.labels[1]], "failure");
+}
+
+TEST(DatasetBuilder, UnlabeledAndRegression) {
+  const std::vector<JobSummary> jobs{
+      labeled_job("VASP", "QC,ES", LabelSource::kIdentified, 1.0)};
+  const AttributeSchema schema({{MetricId::kCpi, false}});
+  const auto pool = build_unlabeled(jobs, schema);
+  EXPECT_TRUE(pool.labels.empty());
+  EXPECT_EQ(pool.size(), 1u);
+  const auto reg = build_regression_dataset(
+      jobs, schema, [](const JobSummary& j) { return j.wall_seconds; });
+  EXPECT_EQ(reg.targets.size(), 1u);
+}
+
+}  // namespace
+}  // namespace xdmodml::supremm

@@ -1,0 +1,78 @@
+// Tests for kernel functions.
+#include "ml/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace xdmodml::ml {
+namespace {
+
+TEST(Kernel, DotAndSquaredDistance) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 9.0 + 49.0 + 9.0);
+  EXPECT_THROW(dot(a, std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(Kernel, LinearMatchesDot) {
+  const auto k = Kernel::linear();
+  const std::vector<double> a{1.0, -1.0};
+  const std::vector<double> b{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(k(a, b), -1.0);
+  EXPECT_EQ(k.name(), "linear");
+}
+
+TEST(Kernel, RbfProperties) {
+  const auto k = Kernel::rbf(0.1);
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{3.0, 4.0};
+  // Symmetric, bounded by 1, equal points give exactly 1.
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+  EXPECT_DOUBLE_EQ(k(a, a), 1.0);
+  EXPECT_GT(k(a, b), 0.0);
+  EXPECT_LT(k(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(k(a, b), std::exp(-0.1 * 8.0));
+}
+
+TEST(Kernel, RbfDecaysWithDistance) {
+  const auto k = Kernel::rbf(0.5);
+  const std::vector<double> origin{0.0};
+  EXPECT_GT(k(origin, std::vector<double>{1.0}),
+            k(origin, std::vector<double>{2.0}));
+}
+
+TEST(Kernel, PolynomialKnownValue) {
+  const auto k = Kernel::polynomial(2.0, 1.0, 1.0);
+  const std::vector<double> a{1.0, 1.0};
+  const std::vector<double> b{2.0, 0.0};
+  // (1*2 + 1)² = 9
+  EXPECT_DOUBLE_EQ(k(a, b), 9.0);
+}
+
+TEST(Kernel, ValidatesParameters) {
+  EXPECT_THROW(Kernel::rbf(0.0), InvalidArgument);
+  EXPECT_THROW(Kernel::rbf(-1.0), InvalidArgument);
+  EXPECT_THROW(Kernel::polynomial(0.0, 1.0, 0.0), InvalidArgument);
+}
+
+TEST(Kernel, RbfGramMatrixPositiveSemidefiniteDiagonal) {
+  // Weak PSD sanity check: all 2x2 principal minors non-negative.
+  const auto k = Kernel::rbf(0.3);
+  const std::vector<std::vector<double>> pts{
+      {0.0, 0.0}, {1.0, 0.5}, {-2.0, 1.0}, {3.0, -1.0}};
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      const double kij = k(pts[i], pts[j]);
+      const double det = k(pts[i], pts[i]) * k(pts[j], pts[j]) - kij * kij;
+      EXPECT_GE(det, -1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xdmodml::ml

@@ -1,0 +1,101 @@
+// Tests for the dense row-major Matrix.
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace xdmodml {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, ConstructWithFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, ElementReadWrite) {
+  Matrix m(2, 2);
+  m(0, 1) = 3.0;
+  m(1, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), InvalidArgument);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowSpanIsZeroCopy) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(Matrix, FromRowsAndColumn) {
+  const auto m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  const auto col = m.column(1);
+  EXPECT_EQ(col, (std::vector<double>{2.0, 4.0, 6.0}));
+  EXPECT_THROW(m.column(2), InvalidArgument);
+}
+
+TEST(Matrix, AppendRowGrowsAndValidates) {
+  Matrix m;
+  m.append_row(std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(m.cols(), 2u);
+  m.append_row(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_THROW(m.append_row(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(Matrix, GatherRowsSelectsAndDuplicates) {
+  const auto m = Matrix::from_rows({{1.0}, {2.0}, {3.0}});
+  const std::vector<std::size_t> idx{2, 0, 2};
+  const auto g = m.gather_rows(idx);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_DOUBLE_EQ(g(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g(2, 0), 3.0);
+  const std::vector<std::size_t> bad{5};
+  EXPECT_THROW(m.gather_rows(bad), InvalidArgument);
+}
+
+TEST(Matrix, GatherColsReorders) {
+  const auto m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const std::vector<std::size_t> idx{2, 0};
+  const auto g = m.gather_cols(idx);
+  EXPECT_EQ(g.cols(), 2u);
+  EXPECT_DOUBLE_EQ(g(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 6.0);
+  const std::vector<std::size_t> bad{3};
+  EXPECT_THROW(m.gather_cols(bad), InvalidArgument);
+}
+
+TEST(Matrix, GatherEmptyIndices) {
+  const auto m = Matrix::from_rows({{1.0, 2.0}});
+  const std::vector<std::size_t> none;
+  EXPECT_EQ(m.gather_rows(none).rows(), 0u);
+}
+
+}  // namespace
+}  // namespace xdmodml

@@ -1,0 +1,180 @@
+// Tests for confusion matrices, accuracy and the paper's threshold sweeps.
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace xdmodml::ml {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.correct(), 3u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(1, 0), 0u);
+}
+
+TEST(ConfusionMatrix, RecallAndPrecision) {
+  ConfusionMatrix cm(2);
+  // class 0: 3 correct, 1 missed; class 1: 2 correct, 1 stolen.
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.75);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 0.75);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 2.0 / 3.0);
+}
+
+TEST(ConfusionMatrix, AbsentClassConventions) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRange) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), InvalidArgument);
+  EXPECT_THROW(cm.add(0, -1), InvalidArgument);
+  EXPECT_THROW(ConfusionMatrix(0), InvalidArgument);
+}
+
+TEST(ConfusionMatrix, PaperStyleRendering) {
+  ConfusionMatrix cm(3);
+  for (int i = 0; i < 5; ++i) cm.add(0, 0);
+  cm.add(0, 2);
+  cm.add(1, 1);
+  const auto text =
+      cm.render_paper_style({"AMBER", "VASP", "GROMACS"});
+  EXPECT_NE(text.find("AMBER (5): GROMACS (1)"), std::string::npos);
+  EXPECT_NE(text.find("VASP (1)"), std::string::npos);
+  // Zero off-diagonals omitted.
+  EXPECT_EQ(text.find("AMBER (5): GROMACS (1), "), std::string::npos);
+}
+
+TEST(ConfusionMatrix, GridRendering) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 1);
+  const auto text = cm.render_grid({"a", "b"});
+  EXPECT_NE(text.find("actual\\pred"), std::string::npos);
+  EXPECT_THROW(cm.render_grid({"only-one"}), InvalidArgument);
+}
+
+TEST(BuildConfusion, FromVectors) {
+  const std::vector<int> actual{0, 1, 1, 0};
+  const std::vector<int> predicted{0, 1, 0, 0};
+  const auto cm = build_confusion(actual, predicted, 2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+  EXPECT_THROW(build_confusion(actual, std::vector<int>{0}, 2),
+               InvalidArgument);
+}
+
+TEST(Accuracy, BasicAndErrors) {
+  EXPECT_DOUBLE_EQ(accuracy(std::vector<int>{1, 2, 3},
+                            std::vector<int>{1, 2, 0}),
+                   2.0 / 3.0);
+  EXPECT_THROW(accuracy(std::vector<int>{}, std::vector<int>{}),
+               InvalidArgument);
+}
+
+TEST(ThresholdSweep, LabeledCurves) {
+  // 4 predictions: two confident correct, one confident wrong,
+  // one unconfident correct.
+  const std::vector<Prediction> preds{
+      {0, 0.95}, {1, 0.90}, {0, 0.85}, {1, 0.40}};
+  const std::vector<int> actual{0, 1, 1, 1};
+  const std::vector<double> thresholds{0.9, 0.5, 0.1};
+  const auto pts = threshold_sweep(preds, actual, thresholds);
+  ASSERT_EQ(pts.size(), 3u);
+
+  // t = 0.9: predictions 0 and 1 qualify, both correct.
+  EXPECT_DOUBLE_EQ(pts[0].classified_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(pts[0].correct_fraction, 0.5);
+  // Eq. 1: N_correct = 3, N_incorrect = 1.
+  EXPECT_DOUBLE_EQ(pts[0].eq1_x, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pts[0].eq1_y, 0.0);
+
+  // t = 0.5: three qualify (the wrong one included).
+  EXPECT_DOUBLE_EQ(pts[1].classified_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(pts[1].correct_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(pts[1].eq1_y, 1.0);
+
+  // t = 0.1: everything qualifies.
+  EXPECT_DOUBLE_EQ(pts[2].classified_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(pts[2].correct_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(pts[2].eq1_x, 1.0);
+}
+
+TEST(ThresholdSweep, MonotoneInThreshold) {
+  std::vector<Prediction> preds;
+  std::vector<int> actual;
+  for (int i = 0; i < 100; ++i) {
+    preds.push_back({i % 3, 0.01 * i});
+    actual.push_back((i * 7) % 3);
+  }
+  const auto grid = default_threshold_grid();
+  const auto pts = threshold_sweep(preds, actual, grid);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    // Grid descends, so classified fraction must be non-decreasing.
+    EXPECT_LE(pts[i - 1].classified_fraction, pts[i].classified_fraction);
+    EXPECT_LE(pts[i - 1].correct_fraction, pts[i].correct_fraction);
+    EXPECT_LE(pts[i - 1].eq1_x, pts[i].eq1_x);
+    EXPECT_LE(pts[i - 1].eq1_y, pts[i].eq1_y);
+  }
+}
+
+TEST(ThresholdSweep, UnlabeledPool) {
+  const std::vector<Prediction> preds{{0, 0.9}, {1, 0.2}};
+  const std::vector<double> thresholds{0.5};
+  const auto pts = threshold_sweep(preds, {}, thresholds);
+  EXPECT_DOUBLE_EQ(pts[0].classified_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(pts[0].correct_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(pts[0].eq1_x, 0.0);
+}
+
+TEST(ThresholdSweep, RejectsBadInputs) {
+  const std::vector<double> thresholds{0.5};
+  EXPECT_THROW(threshold_sweep({}, {}, thresholds), InvalidArgument);
+  const std::vector<Prediction> preds{{0, 0.9}};
+  const std::vector<int> wrong_len{0, 1};
+  EXPECT_THROW(threshold_sweep(preds, wrong_len, thresholds),
+               InvalidArgument);
+}
+
+TEST(DefaultGrid, PaperShape) {
+  const auto grid = default_threshold_grid();
+  ASSERT_EQ(grid.size(), 20u);
+  EXPECT_DOUBLE_EQ(grid.front(), 1.0);
+  EXPECT_NEAR(grid.back(), 0.05, 1e-12);
+}
+
+TEST(RegressionMetrics, KnownValues) {
+  const std::vector<double> actual{1.0, 2.0, 3.0};
+  const std::vector<double> pred{1.0, 2.5, 2.5};
+  EXPECT_NEAR(mean_squared_error(actual, pred), (0.25 + 0.25) / 3.0, 1e-12);
+  EXPECT_NEAR(mean_absolute_error(actual, pred), 1.0 / 3.0, 1e-12);
+  EXPECT_GT(r_squared(actual, pred), 0.5);
+  EXPECT_DOUBLE_EQ(r_squared(actual, actual), 1.0);
+}
+
+TEST(RegressionMetrics, ConstantActual) {
+  const std::vector<double> actual{2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(actual, actual), 1.0);
+  const std::vector<double> off{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(actual, off), 0.0);
+}
+
+}  // namespace
+}  // namespace xdmodml::ml

@@ -1,0 +1,256 @@
+// Round-trip tests for model serialization: standardizer, trees, forest,
+// SVM, naive Bayes, and the full JobClassifier pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/job_classifier.hpp"
+#include "ml/model_io.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/svm.hpp"
+#include "util/error.hpp"
+#include "workload/dataset_helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace xdmodml {
+namespace {
+
+using ml::Dataset;
+
+Dataset blob_dataset(std::size_t per_class, std::uint64_t seed = 1) {
+  Dataset ds;
+  Rng rng(seed);
+  ds.class_names = {"a", "b", "c"};
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      ds.X.append_row(std::vector<double>{rng.normal(4.0 * c, 1.0),
+                                          rng.normal(-2.0 * c, 1.0)});
+      ds.labels.push_back(c);
+    }
+  }
+  return ds;
+}
+
+TEST(ModelIo, TokenReaderValidates) {
+  std::istringstream in("foo 1.5");
+  ml::io::TokenReader reader(in);
+  EXPECT_THROW(reader.expect("bar"), InvalidArgument);
+  std::istringstream in2("x");
+  ml::io::TokenReader reader2(in2);
+  EXPECT_THROW(reader2.read_double("x"), InvalidArgument);  // truncated
+}
+
+TEST(ModelIo, VectorRoundTrip) {
+  std::ostringstream out;
+  const std::vector<double> values{1.5, -2.25, 1e-17, 3.0};
+  ml::io::write_vector(out, "v", values);
+  std::istringstream in(out.str());
+  ml::io::TokenReader reader(in);
+  EXPECT_EQ(reader.read_vector("v"), values);
+}
+
+TEST(ModelIo, StandardizerRoundTrip) {
+  const auto ds = blob_dataset(20);
+  ml::Standardizer s;
+  s.fit(ds.X);
+  std::ostringstream out;
+  s.save(out);
+  std::istringstream in(out.str());
+  const auto loaded = ml::Standardizer::load(in);
+  const auto a = s.transform(ds.X);
+  const auto b = loaded.transform(ds.X);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(a(r, c), b(r, c));
+    }
+  }
+  ml::Standardizer unfitted;
+  std::ostringstream dummy;
+  EXPECT_THROW(unfitted.save(dummy), InvalidArgument);
+}
+
+TEST(ModelIo, ForestRoundTripPredictionsIdentical) {
+  const auto ds = blob_dataset(50);
+  ml::ForestConfig cfg;
+  cfg.num_trees = 30;
+  ml::RandomForestClassifier rf(cfg, 3);
+  rf.fit(ds.X, ds.labels, 3);
+  std::ostringstream out;
+  rf.save(out);
+  std::istringstream in(out.str());
+  const auto loaded = ml::RandomForestClassifier::load(in);
+  EXPECT_EQ(loaded.num_trees(), rf.num_trees());
+  for (std::size_t r = 0; r < ds.X.rows(); ++r) {
+    const auto pa = rf.predict_proba(ds.X.row(r));
+    const auto pb = loaded.predict_proba(ds.X.row(r));
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t c = 0; c < pa.size(); ++c) {
+      EXPECT_DOUBLE_EQ(pa[c], pb[c]);
+    }
+  }
+  // OOB is a training-time artifact, not serialized.
+  EXPECT_THROW(loaded.oob_error(), InvalidArgument);
+}
+
+TEST(ModelIo, SvmRoundTripPredictionsIdentical) {
+  const auto ds = blob_dataset(30);
+  ml::SvmConfig cfg;
+  cfg.kernel = ml::Kernel::rbf(0.5);
+  cfg.c = 10.0;
+  cfg.probability = true;
+  ml::SvmClassifier svm(cfg, 7);
+  svm.fit(ds.X, ds.labels, 3);
+  std::ostringstream out;
+  svm.save(out);
+  std::istringstream in(out.str());
+  const auto loaded = ml::SvmClassifier::load(in);
+  EXPECT_EQ(loaded.num_machines(), svm.num_machines());
+  EXPECT_EQ(loaded.total_support_vectors(), svm.total_support_vectors());
+  for (std::size_t r = 0; r < ds.X.rows(); ++r) {
+    const auto pa = svm.predict_proba(ds.X.row(r));
+    const auto pb = loaded.predict_proba(ds.X.row(r));
+    for (std::size_t c = 0; c < pa.size(); ++c) {
+      EXPECT_NEAR(pa[c], pb[c], 1e-12);
+    }
+  }
+}
+
+TEST(ModelIo, NaiveBayesRoundTrip) {
+  const auto ds = blob_dataset(30);
+  ml::NaiveBayesClassifier nb;
+  nb.fit(ds.X, ds.labels, 4);  // one class unseen -> -inf prior path
+  std::ostringstream out;
+  nb.save(out);
+  std::istringstream in(out.str());
+  const auto loaded = ml::NaiveBayesClassifier::load(in);
+  for (std::size_t r = 0; r < ds.X.rows(); ++r) {
+    const auto pa = nb.predict_proba(ds.X.row(r));
+    const auto pb = loaded.predict_proba(ds.X.row(r));
+    for (std::size_t c = 0; c < pa.size(); ++c) {
+      EXPECT_DOUBLE_EQ(pa[c], pb[c]);
+    }
+  }
+}
+
+TEST(ModelIo, JobClassifierFullPipelineRoundTrip) {
+  auto gen = workload::WorkloadGenerator::standard({}, 21);
+  std::vector<workload::GeneratedJob> jobs;
+  for (const auto& app : {"VASP", "NAMD", "PYTHON"}) {
+    auto batch = gen.generate_for(app, 40);
+    jobs.insert(jobs.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
+  const auto schema = supremm::AttributeSchema::full();
+  const auto train = workload::build_summary_dataset(
+      jobs, schema, supremm::label_by_application());
+
+  core::JobClassifierConfig cfg;
+  cfg.algorithm = core::Algorithm::kRandomForest;
+  cfg.forest.num_trees = 40;
+  core::JobClassifier clf(cfg);
+  clf.train(train);
+
+  std::ostringstream out;
+  clf.save(out);
+  std::istringstream in(out.str());
+  const auto loaded = core::JobClassifier::load(in);
+
+  EXPECT_EQ(loaded.class_names(), clf.class_names());
+  EXPECT_EQ(loaded.schema().names(), clf.schema().names());
+  for (const auto& job : jobs) {
+    const auto a = clf.predict(job.summary);
+    const auto b = loaded.predict(job.summary);
+    EXPECT_EQ(a.class_name, b.class_name);
+    EXPECT_DOUBLE_EQ(a.probability, b.probability);
+  }
+}
+
+TEST(ModelIo, JobClassifierSvmRoundTrip) {
+  auto gen = workload::WorkloadGenerator::standard({}, 22);
+  std::vector<workload::GeneratedJob> jobs;
+  for (const auto& app : {"VASP", "GROMACS"}) {
+    auto batch = gen.generate_for(app, 30);
+    jobs.insert(jobs.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
+  const auto schema = supremm::AttributeSchema::full();
+  const auto train = workload::build_summary_dataset(
+      jobs, schema, supremm::label_by_application());
+  core::JobClassifierConfig cfg;
+  cfg.algorithm = core::Algorithm::kSvm;
+  core::JobClassifier clf(cfg);
+  clf.train(train);
+  std::ostringstream out;
+  clf.save(out);
+  std::istringstream in(out.str());
+  const auto loaded = core::JobClassifier::load(in);
+  for (const auto& job : jobs) {
+    EXPECT_EQ(clf.predict(job.summary).class_name,
+              loaded.predict(job.summary).class_name);
+  }
+}
+
+TEST(ModelIo, ForestRegressorRoundTrip) {
+  Rng rng(41);
+  Matrix X;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(0.0, 5.0);
+    X.append_row(std::vector<double>{a, rng.normal()});
+    y.push_back(3.0 * a + rng.normal(0.0, 0.1));
+  }
+  ml::ForestConfig cfg;
+  cfg.num_trees = 25;
+  ml::RandomForestRegressor rf(cfg, 5);
+  rf.fit(X, y);
+  std::ostringstream out;
+  rf.save(out);
+  std::istringstream in(out.str());
+  const auto loaded = ml::RandomForestRegressor::load(in);
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_DOUBLE_EQ(loaded.predict(X.row(r)), rf.predict(X.row(r)));
+  }
+  EXPECT_THROW(loaded.oob_mse(), InvalidArgument);
+}
+
+TEST(ModelIo, SvrRoundTrip) {
+  Rng rng(43);
+  Matrix X;
+  std::vector<double> y;
+  for (int i = 0; i < 120; ++i) {
+    const double a = rng.uniform(-2.0, 2.0);
+    X.append_row(std::vector<double>{a});
+    y.push_back(std::sin(a));
+  }
+  ml::SvmConfig cfg;
+  cfg.kernel = ml::Kernel::rbf(1.0);
+  cfg.c = 50.0;
+  cfg.epsilon = 0.05;
+  ml::SvmRegressor svr(cfg);
+  svr.fit(X, y);
+  std::ostringstream out;
+  svr.save(out);
+  std::istringstream in(out.str());
+  const auto loaded = ml::SvmRegressor::load(in);
+  EXPECT_EQ(loaded.num_support_vectors(), svr.num_support_vectors());
+  for (double a = -1.5; a <= 1.5; a += 0.25) {
+    EXPECT_DOUBLE_EQ(loaded.predict(std::vector<double>{a}),
+                     svr.predict(std::vector<double>{a}));
+  }
+}
+
+TEST(ModelIo, CorruptStreamsRejected) {
+  std::istringstream garbage("not-a-model 42");
+  EXPECT_THROW(ml::RandomForestClassifier::load(garbage), InvalidArgument);
+  std::istringstream truncated("forest-v1 classes 3");
+  EXPECT_THROW(ml::RandomForestClassifier::load(truncated),
+               InvalidArgument);
+  std::istringstream wrong_algo(
+      "job-classifier-v1 algorithm quantum classes 1 class x");
+  EXPECT_THROW(core::JobClassifier::load(wrong_algo), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml

@@ -1,0 +1,215 @@
+// Tests for PCA, k-means, and the feature correlation analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ml/feature_analysis.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/pca.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml::ml {
+namespace {
+
+TEST(Pca, RecoversDominantDirection) {
+  // Data on a noisy line y = 2x: first component must align with (1, 2).
+  Rng rng(1);
+  Matrix X;
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.normal(0.0, 3.0);
+    X.append_row(std::vector<double>{t + rng.normal(0.0, 0.1),
+                                     2.0 * t + rng.normal(0.0, 0.1)});
+  }
+  Pca pca;
+  pca.fit(X, 1);
+  EXPECT_GT(pca.explained_variance_ratio(1), 0.99);
+  const auto z = pca.transform_row(std::vector<double>{1.0, 2.0});
+  const auto z0 = pca.transform_row(std::vector<double>{0.0, 0.0});
+  // Moving along (1,2) moves the first component by ~sqrt(5).
+  EXPECT_NEAR(std::abs(z[0] - z0[0]), std::sqrt(5.0), 0.05);
+}
+
+TEST(Pca, ExplainedVarianceMonotone) {
+  Rng rng(2);
+  Matrix X;
+  for (int i = 0; i < 200; ++i) {
+    X.append_row(std::vector<double>{rng.normal(0, 3), rng.normal(0, 2),
+                                     rng.normal(0, 1)});
+  }
+  Pca pca;
+  pca.fit(X);
+  double prev = 0.0;
+  for (std::size_t k = 0; k <= 3; ++k) {
+    const double r = pca.explained_variance_ratio(k);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_NEAR(pca.explained_variance_ratio(3), 1.0, 1e-9);
+}
+
+TEST(Pca, RoundTripFullRank) {
+  Rng rng(3);
+  Matrix X;
+  for (int i = 0; i < 50; ++i) {
+    X.append_row(std::vector<double>{rng.normal(), rng.normal(),
+                                     rng.normal()});
+  }
+  Pca pca;
+  pca.fit(X);  // all components
+  const auto Z = pca.transform(X);
+  const auto back = pca.inverse_transform(Z);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      EXPECT_NEAR(back(r, c), X(r, c), 1e-8);
+    }
+  }
+}
+
+TEST(Pca, TruncatedReconstructionLosesOnlyMinorVariance) {
+  Rng rng(4);
+  Matrix X;
+  for (int i = 0; i < 300; ++i) {
+    const double t = rng.normal(0.0, 5.0);
+    X.append_row(std::vector<double>{t, -t + rng.normal(0.0, 0.2),
+                                     rng.normal(0.0, 0.2)});
+  }
+  Pca pca;
+  pca.fit(X, 1);
+  const auto back = pca.inverse_transform(pca.transform(X));
+  double err = 0.0;
+  double total = 0.0;
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      err += (back(r, c) - X(r, c)) * (back(r, c) - X(r, c));
+      total += X(r, c) * X(r, c);
+    }
+  }
+  EXPECT_LT(err / total, 0.01);
+}
+
+TEST(Pca, Validation) {
+  Pca pca;
+  EXPECT_THROW(pca.fit(Matrix(1, 2)), InvalidArgument);
+  EXPECT_THROW(pca.transform(Matrix(1, 2)), InvalidArgument);
+}
+
+Matrix three_blobs(std::vector<int>* labels, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Matrix X;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 80; ++i) {
+      X.append_row(std::vector<double>{rng.normal(6.0 * c, 1.0),
+                                       rng.normal(c == 1 ? 6.0 : 0.0, 1.0)});
+      if (labels) labels->push_back(c);
+    }
+  }
+  return X;
+}
+
+TEST(KMeans, FindsWellSeparatedBlobs) {
+  std::vector<int> labels;
+  const auto X = three_blobs(&labels);
+  KMeansConfig cfg;
+  cfg.clusters = 3;
+  const auto result = kmeans(X, cfg, 9);
+  EXPECT_EQ(result.centroids.rows(), 3u);
+  EXPECT_EQ(result.assignments.size(), X.rows());
+  EXPECT_GT(cluster_purity(result.assignments, labels), 0.98);
+  EXPECT_GT(normalized_mutual_information(result.assignments, labels),
+            0.9);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  std::vector<int> labels;
+  const auto X = three_blobs(&labels);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 3u, 6u}) {
+    KMeansConfig cfg;
+    cfg.clusters = k;
+    const auto result = kmeans(X, cfg, 11);
+    EXPECT_LT(result.inertia, prev);
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeans, NearestCentroidConsistent) {
+  std::vector<int> labels;
+  const auto X = three_blobs(&labels);
+  KMeansConfig cfg;
+  cfg.clusters = 3;
+  const auto result = kmeans(X, cfg, 13);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    EXPECT_EQ(nearest_centroid(result.centroids, X.row(r)),
+              result.assignments[r]);
+  }
+}
+
+TEST(KMeans, Validation) {
+  Matrix X = Matrix::from_rows({{1.0}, {2.0}});
+  KMeansConfig cfg;
+  cfg.clusters = 3;
+  EXPECT_THROW(kmeans(X, cfg), InvalidArgument);
+  EXPECT_THROW(cluster_purity(std::vector<int>{0},
+                              std::vector<int>{0, 1}),
+               InvalidArgument);
+}
+
+TEST(KMeans, NmiProperties) {
+  const std::vector<int> a{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(normalized_mutual_information(a, a), 1.0, 1e-12);
+  const std::vector<int> relabeled{5, 5, 9, 9, 7, 7};
+  EXPECT_NEAR(normalized_mutual_information(a, relabeled), 1.0, 1e-12);
+  const std::vector<int> constant{1, 1, 1, 1, 1, 1};
+  EXPECT_NEAR(normalized_mutual_information(a, constant), 0.0, 1e-12);
+}
+
+TEST(FeatureAnalysis, CorrelationMatrixKnownValues) {
+  Matrix X;
+  Rng rng(15);
+  for (int i = 0; i < 400; ++i) {
+    const double t = rng.normal();
+    X.append_row(std::vector<double>{t, -t, rng.normal(), 3.0});
+  }
+  const auto corr = correlation_matrix(X);
+  EXPECT_NEAR(corr(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(corr(0, 1), -1.0, 1e-9);
+  EXPECT_NEAR(std::abs(corr(0, 2)), 0.0, 0.15);
+  // Constant column: correlation defined as 0.
+  EXPECT_DOUBLE_EQ(corr(0, 3), 0.0);
+}
+
+TEST(FeatureAnalysis, PrunesPerfectlyCorrelatedPair) {
+  Matrix X;
+  Rng rng(16);
+  for (int i = 0; i < 300; ++i) {
+    const double t = rng.normal();
+    const double u = rng.normal();
+    X.append_row(std::vector<double>{t, 2.0 * t + 0.001 * rng.normal(), u});
+  }
+  const auto pruned = prune_correlated(X, 0.95);
+  ASSERT_EQ(pruned.size(), 1u);
+  EXPECT_GT(pruned[0].correlation, 0.99);
+  const std::set<std::size_t> pair{pruned[0].dropped, pruned[0].kept};
+  EXPECT_EQ(pair, (std::set<std::size_t>{0, 1}));
+  const auto survivors = surviving_columns(3, pruned);
+  EXPECT_EQ(survivors.size(), 2u);
+}
+
+TEST(FeatureAnalysis, RespectsMaxDrops) {
+  Matrix X;
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.normal();
+    X.append_row(std::vector<double>{t, t + 0.001 * rng.normal(),
+                                     t + 0.002 * rng.normal(),
+                                     t + 0.003 * rng.normal()});
+  }
+  const auto pruned = prune_correlated(X, 0.9, 2);
+  EXPECT_EQ(pruned.size(), 2u);
+  EXPECT_THROW(prune_correlated(X, 1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml::ml

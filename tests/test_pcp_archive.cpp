@@ -1,0 +1,111 @@
+// Tests for the PCP-style continuous archive and window extraction:
+// the collector-agnostic summarization claim.
+#include "taccstats/pcp_archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "taccstats/aggregator.hpp"
+#include "util/error.hpp"
+
+namespace xdmodml::taccstats {
+namespace {
+
+using supremm::MetricId;
+
+NodeRateModel busy_model(std::uint32_t cores) {
+  return [cores](std::size_t, std::size_t) {
+    NodeInterval iv;
+    iv.core_user_fraction.assign(cores, 0.85);
+    iv.system_fraction_of_rest = 0.4;
+    iv.mem_used_gb = 7.0;
+    iv.rates[static_cast<std::size_t>(CounterId::kClockCycles)] = 2.4e9;
+    iv.rates[static_cast<std::size_t>(CounterId::kInstructions)] = 1.6e9;
+    iv.rates[static_cast<std::size_t>(CounterId::kL1dLoads)] = 8e8;
+    iv.rates[static_cast<std::size_t>(CounterId::kIbRxBytes)] = 2e7;
+    return iv;
+  };
+}
+
+CollectorConfig pcp_config() {
+  CollectorConfig cfg;
+  cfg.interval_seconds = 60.0;  // pmlogger logs more often than cron
+  cfg.cores_per_node = 4;
+  cfg.counter_noise = 0.0;
+  return cfg;
+}
+
+TEST(PcpArchive, CoversAllPhases) {
+  Rng rng(1);
+  const auto archive = PcpArchive::record(busy_model(4), 0, 1800.0, 600.0,
+                                          600.0, pcp_config(), rng);
+  EXPECT_NEAR(archive.duration(), 3000.0, 1.0);
+  // 3000s at 60s per sample + prolog.
+  EXPECT_EQ(archive.samples().size(), 51u);
+}
+
+TEST(PcpArchive, WindowExtractionRebasesTimestamps) {
+  Rng rng(2);
+  const auto archive = PcpArchive::record(busy_model(4), 0, 1800.0, 600.0,
+                                          600.0, pcp_config(), rng);
+  const auto window = archive.extract_window(600.0, 2400.0);
+  ASSERT_GE(window.size(), 2u);
+  EXPECT_DOUBLE_EQ(window.front().timestamp, 0.0);
+  EXPECT_NEAR(window.back().timestamp, 1800.0, 60.0);
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    EXPECT_GT(window[i].timestamp, window[i - 1].timestamp);
+  }
+}
+
+TEST(PcpArchive, ExtractedWindowAggregatesLikeDirectCollection) {
+  // The same ground truth measured by (a) the job-aligned TACC_Stats
+  // collector and (b) a PCP archive windowed to the job must agree.
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const auto cfg = pcp_config();
+  const double busy = 1800.0;
+
+  std::vector<std::vector<RawSample>> direct;
+  direct.push_back(collect_node(busy_model(4), 0, busy, cfg, rng_a));
+  const auto direct_result = aggregate_job(direct, cfg);
+
+  const auto archive = PcpArchive::record(busy_model(4), 0, busy, 600.0,
+                                          600.0, cfg, rng_b);
+  std::vector<std::vector<RawSample>> windowed;
+  windowed.push_back(archive.extract_window(600.0, 600.0 + busy));
+  const auto pcp_result = aggregate_job(windowed, cfg);
+
+  EXPECT_NEAR(pcp_result.job.mean_of(MetricId::kCpi),
+              direct_result.job.mean_of(MetricId::kCpi), 0.03);
+  EXPECT_NEAR(pcp_result.job.mean_of(MetricId::kCpuUser),
+              direct_result.job.mean_of(MetricId::kCpuUser), 0.03);
+  EXPECT_NEAR(pcp_result.job.mean_of(MetricId::kIbReceive),
+              direct_result.job.mean_of(MetricId::kIbReceive), 0.7);
+  EXPECT_NEAR(pcp_result.job.mean_of(MetricId::kMemUsed),
+              direct_result.job.mean_of(MetricId::kMemUsed), 0.3);
+}
+
+TEST(PcpArchive, IdlePaddingStaysOutsideWindow) {
+  Rng rng(4);
+  const auto archive = PcpArchive::record(busy_model(4), 0, 1800.0, 600.0,
+                                          600.0, pcp_config(), rng);
+  // A window over the *idle* head must show near-zero activity.
+  std::vector<std::vector<RawSample>> idle;
+  idle.push_back(archive.extract_window(0.0, 540.0));
+  const auto result = aggregate_job(idle, pcp_config());
+  EXPECT_LT(result.job.mean_of(MetricId::kCpuUser), 0.05);
+  EXPECT_LT(result.job.mean_of(MetricId::kMemUsed), 1.0);
+}
+
+TEST(PcpArchive, Validation) {
+  Rng rng(5);
+  const auto archive = PcpArchive::record(busy_model(4), 0, 600.0, 120.0,
+                                          120.0, pcp_config(), rng);
+  EXPECT_THROW(archive.extract_window(500.0, 100.0), InvalidArgument);
+  EXPECT_THROW(archive.extract_window(0.0, 1e6), InvalidArgument);
+  EXPECT_THROW(PcpArchive::record(busy_model(4), 0, 0.0, 1.0, 1.0,
+                                  pcp_config(), rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml::taccstats

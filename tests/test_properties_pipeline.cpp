@@ -1,0 +1,155 @@
+// Property-based (parameterized) sweeps over the data pipeline: the
+// collector + aggregator must recover known ground-truth rates for any
+// (interval length, node count, core count) combination, and COV
+// attributes must track the injected node-to-node variation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "taccstats/aggregator.hpp"
+#include "taccstats/collector.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace xdmodml::taccstats {
+namespace {
+
+using supremm::MetricId;
+
+// ---------------------------------------------------------------------
+// Rate recovery across collection geometries.
+// ---------------------------------------------------------------------
+using GeoParam =
+    std::tuple<double /*interval_s*/, int /*nodes*/, int /*cores*/>;
+
+class RateRecoveryProperty : public ::testing::TestWithParam<GeoParam> {};
+
+TEST_P(RateRecoveryProperty, RecoversGroundTruth) {
+  const auto [interval, nodes, cores] = GetParam();
+  CollectorConfig cfg;
+  cfg.interval_seconds = interval;
+  cfg.cores_per_node = static_cast<std::uint32_t>(cores);
+  cfg.counter_noise = 0.0;
+
+  const double instr_rate = 1.7e9;
+  const double cycles_rate = 2.3e9;
+  const double lustre_rate = 12.5e6;
+  NodeRateModel model = [&](std::size_t, std::size_t) {
+    NodeInterval iv;
+    iv.core_user_fraction.assign(static_cast<std::size_t>(cores), 0.75);
+    iv.system_fraction_of_rest = 0.4;
+    iv.mem_used_gb = 5.0;
+    iv.rates[static_cast<std::size_t>(CounterId::kInstructions)] =
+        instr_rate;
+    iv.rates[static_cast<std::size_t>(CounterId::kClockCycles)] =
+        cycles_rate;
+    iv.rates[static_cast<std::size_t>(CounterId::kL1dLoads)] =
+        cycles_rate / 3.0;
+    iv.rates[static_cast<std::size_t>(CounterId::kLustreTxBytes)] =
+        lustre_rate;
+    return iv;
+  };
+
+  Rng rng(5);
+  const double wall = interval * 5.5;  // exercise the short tail interval
+  std::vector<std::vector<RawSample>> streams;
+  for (int n = 0; n < nodes; ++n) {
+    streams.push_back(collect_node(model, static_cast<std::size_t>(n),
+                                   wall, cfg, rng));
+  }
+  const auto result = aggregate_job(streams, cfg);
+  const auto& job = result.job;
+  EXPECT_EQ(job.nodes, static_cast<std::uint32_t>(nodes));
+  EXPECT_NEAR(job.mean_of(MetricId::kCpi), cycles_rate / instr_rate, 0.02);
+  EXPECT_NEAR(job.mean_of(MetricId::kCpld), 3.0, 0.05);
+  EXPECT_NEAR(job.mean_of(MetricId::kLustreTransmit), 12.5, 0.3);
+  EXPECT_NEAR(job.mean_of(MetricId::kCpuUser), 0.75, 0.02);
+  EXPECT_NEAR(job.mean_of(MetricId::kMemUsed), 5.0, 0.1);
+  // Identical nodes: COV near zero everywhere it is defined.
+  EXPECT_NEAR(job.cov_of(MetricId::kLustreTransmit), 0.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RateRecoveryProperty,
+    ::testing::Combine(::testing::Values(120.0, 600.0, 1800.0),
+                       ::testing::Values(1, 3, 8),
+                       ::testing::Values(4, 16)));
+
+// ---------------------------------------------------------------------
+// COV attributes track injected node variation.
+// ---------------------------------------------------------------------
+class CovTrackingProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CovTrackingProperty, JobCovGrowsWithNodeVariation) {
+  const double variation = GetParam();
+  CollectorConfig cfg;
+  cfg.cores_per_node = 4;
+  cfg.counter_noise = 0.0;
+  Rng factor_rng(17);
+  const int nodes = 24;
+  std::vector<double> factors;
+  for (int n = 0; n < nodes; ++n) {
+    factors.push_back(std::max(0.05, factor_rng.normal(1.0, variation)));
+  }
+  NodeRateModel model = [&](std::size_t node, std::size_t) {
+    NodeInterval iv;
+    iv.core_user_fraction.assign(4, 0.8);
+    iv.mem_used_gb = 4.0 * factors[node];
+    iv.rates[static_cast<std::size_t>(CounterId::kInstructions)] = 1e9;
+    iv.rates[static_cast<std::size_t>(CounterId::kClockCycles)] = 1e9;
+    iv.rates[static_cast<std::size_t>(CounterId::kL1dLoads)] = 1e9;
+    return iv;
+  };
+  Rng rng(3);
+  std::vector<std::vector<RawSample>> streams;
+  for (int n = 0; n < nodes; ++n) {
+    streams.push_back(collect_node(model, static_cast<std::size_t>(n),
+                                   3000.0, cfg, rng));
+  }
+  const auto result = aggregate_job(streams, cfg);
+  // Measured COV should be close to the injected coefficient of
+  // variation (sample error shrinks with 24 nodes).
+  EXPECT_NEAR(result.job.cov_of(MetricId::kMemUsed), variation,
+              0.35 * variation + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variations, CovTrackingProperty,
+                         ::testing::Values(0.05, 0.15, 0.3, 0.5));
+
+// ---------------------------------------------------------------------
+// Workload generator: every application's jobs stay within physical
+// bounds for any seed.
+// ---------------------------------------------------------------------
+class GeneratorSanityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorSanityProperty, JobsPhysicallyPlausible) {
+  auto gen = workload::WorkloadGenerator::standard(
+      {}, static_cast<std::uint64_t>(GetParam()));
+  const auto jobs = gen.generate_native(60);
+  for (const auto& job : jobs) {
+    const auto& s = job.summary;
+    const double user = s.mean_of(MetricId::kCpuUser);
+    const double sys = s.mean_of(MetricId::kCpuSystem);
+    const double idle = s.mean_of(MetricId::kCpuIdle);
+    EXPECT_NEAR(user + sys + idle, 1.0, 1e-6);
+    EXPECT_GE(user, 0.0);
+    EXPECT_LE(user, 1.0);
+    EXPECT_GT(s.mean_of(MetricId::kCpi), 0.05);
+    EXPECT_LT(s.mean_of(MetricId::kCpi), 30.0);
+    EXPECT_LT(s.mean_of(MetricId::kMemUsed), 32.0);
+    EXPECT_GE(s.nodes, 1u);
+    EXPECT_LE(s.nodes, 128u);
+    EXPECT_GE(s.wall_seconds, 120.0);
+    EXPECT_LE(s.wall_seconds, 48.0 * 3600.0);
+    for (const auto& name : job.time_features) {
+      EXPECT_TRUE(std::isfinite(name));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSanityProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace xdmodml::taccstats

@@ -1,0 +1,156 @@
+// Property sweeps over the unsupervised layer: eigensolver invariants
+// across matrix sizes, PCA variance accounting across dimensionalities,
+// and k-means quality across cluster counts and seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "ml/kernel.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/pca.hpp"
+#include "util/eigen.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml {
+namespace {
+
+// ---------------------------------------------------------------------
+// Eigen: reconstruction and orthonormality for any size/seed.
+// ---------------------------------------------------------------------
+using EigenParam = std::tuple<int /*n*/, int /*seed*/>;
+
+class EigenProperty : public ::testing::TestWithParam<EigenParam> {};
+
+TEST_P(EigenProperty, ReconstructionAndTrace) {
+  const auto [n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = v;
+      a(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) = v;
+    }
+  }
+  const auto eig = eigen_symmetric(a);
+  // Trace preserved: Σλ == Σ a_ii.
+  double trace = 0.0;
+  double eigsum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    trace += a(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+  }
+  for (const auto w : eig.eigenvalues) eigsum += w;
+  EXPECT_NEAR(trace, eigsum, 1e-8);
+  // Av = λv for every pair.
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (int j = 0; j < n; ++j) {
+        av += a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) *
+              eig.eigenvectors(static_cast<std::size_t>(j),
+                               static_cast<std::size_t>(k));
+      }
+      EXPECT_NEAR(av,
+                  eig.eigenvalues[static_cast<std::size_t>(k)] *
+                      eig.eigenvectors(static_cast<std::size_t>(i),
+                                       static_cast<std::size_t>(k)),
+                  1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenProperty,
+                         ::testing::Combine(::testing::Values(2, 5, 16,
+                                                              48),
+                                            ::testing::Values(1, 2)));
+
+// ---------------------------------------------------------------------
+// PCA: component scores are uncorrelated with variances = eigenvalues.
+// ---------------------------------------------------------------------
+class PcaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PcaProperty, ScoresDecorrelatedWithEigenvalueVariance) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Matrix X;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.normal(0.0, 3.0);
+    const double b = rng.normal(0.0, 1.0);
+    X.append_row(std::vector<double>{a + b, a - b,
+                                     0.5 * a + rng.normal(0.0, 0.5)});
+  }
+  ml::Pca pca;
+  pca.fit(X);
+  const auto Z = pca.transform(X);
+  const std::size_t d = Z.cols();
+  for (std::size_t p = 0; p < d; ++p) {
+    // Mean ~ 0.
+    double mean = 0.0;
+    for (std::size_t r = 0; r < Z.rows(); ++r) mean += Z(r, p);
+    mean /= static_cast<double>(Z.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    // Variance == eigenvalue.
+    double var = 0.0;
+    for (std::size_t r = 0; r < Z.rows(); ++r) {
+      var += (Z(r, p) - mean) * (Z(r, p) - mean);
+    }
+    var /= static_cast<double>(Z.rows() - 1);
+    EXPECT_NEAR(var, pca.eigenvalues()[p],
+                1e-6 * (1.0 + pca.eigenvalues()[p]));
+    // Decorrelated with every other component.
+    for (std::size_t q = p + 1; q < d; ++q) {
+      double cov = 0.0;
+      for (std::size_t r = 0; r < Z.rows(); ++r) {
+        cov += Z(r, p) * Z(r, q);
+      }
+      cov /= static_cast<double>(Z.rows() - 1);
+      EXPECT_NEAR(cov, 0.0, 1e-6 * (1.0 + pca.eigenvalues()[p]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcaProperty, ::testing::Values(3, 7, 21));
+
+// ---------------------------------------------------------------------
+// K-means: assignments are nearest-centroid-consistent and inertia
+// matches its definition, for any k and seed.
+// ---------------------------------------------------------------------
+using KMeansParam = std::tuple<int /*k*/, int /*seed*/>;
+
+class KMeansProperty : public ::testing::TestWithParam<KMeansParam> {};
+
+TEST_P(KMeansProperty, AssignmentsAndInertiaConsistent) {
+  const auto [k, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  Matrix X;
+  for (int i = 0; i < 240; ++i) {
+    const int blob = i % 4;
+    X.append_row(std::vector<double>{rng.normal(3.0 * blob, 0.8),
+                                     rng.normal(blob % 2 * 4.0, 0.8)});
+  }
+  ml::KMeansConfig cfg;
+  cfg.clusters = static_cast<std::size_t>(k);
+  const auto result =
+      ml::kmeans(X, cfg, static_cast<std::uint64_t>(seed) + 5);
+  double inertia = 0.0;
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const int assigned = result.assignments[r];
+    EXPECT_EQ(ml::nearest_centroid(result.centroids, X.row(r)), assigned);
+    inertia += ml::squared_distance(
+        X.row(r),
+        result.centroids.row(static_cast<std::size_t>(assigned)));
+  }
+  EXPECT_NEAR(inertia, result.inertia, 1e-6 * (1.0 + inertia));
+  // Every cluster id in range.
+  for (const int c : result.assignments) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, KMeansProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace xdmodml

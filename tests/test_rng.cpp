@@ -1,0 +1,254 @@
+// Unit and statistical-property tests for the deterministic RNG.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xdmodml {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(7);
+  Rng child = parent.split();
+  // The child should not simply replay the parent's continuation.
+  Rng parent_copy(7);
+  (void)parent_copy.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (child() == parent()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(123);
+  Rng b(123);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.uniform());
+  EXPECT_NEAR(rs.mean(), 0.5, 0.01);
+  EXPECT_NEAR(rs.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(17);
+  std::array<int, 7> counts{};
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 7.0, draws / 7.0 * 0.1);
+  }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i) rs.add(rng.normal());
+  EXPECT_NEAR(rs.mean(), 0.0, 0.02);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalParameterized) {
+  Rng rng(29);
+  RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(rs.mean(), 10.0, 0.1);
+  EXPECT_NEAR(rs.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.lognormal(1.0, 0.5));
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(median(xs), std::exp(1.0), 0.1);
+  for (const double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(37);
+  RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.exponential(2.0));
+  EXPECT_NEAR(rs.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, GammaMoments) {
+  Rng rng(41);
+  RunningStats rs;
+  const double shape = 3.0;
+  const double scale = 2.0;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.gamma(shape, scale));
+  EXPECT_NEAR(rs.mean(), shape * scale, 0.1);
+  EXPECT_NEAR(rs.variance(), shape * scale * scale, 0.5);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(43);
+  RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.gamma(0.5, 1.0));
+  EXPECT_NEAR(rs.mean(), 0.5, 0.05);
+}
+
+TEST(Rng, BetaBoundsAndMean) {
+  Rng rng(47);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) {
+    const double b = rng.beta(2.0, 5.0);
+    EXPECT_GT(b, 0.0);
+    EXPECT_LT(b, 1.0);
+    rs.add(b);
+  }
+  EXPECT_NEAR(rs.mean(), 2.0 / 7.0, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(53);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, PoissonSmallAndLargeMean) {
+  Rng rng(59);
+  RunningStats small;
+  for (int i = 0; i < 50000; ++i) {
+    small.add(static_cast<double>(rng.poisson(3.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  RunningStats large;
+  for (int i = 0; i < 50000; ++i) {
+    large.add(static_cast<double>(rng.poisson(100.0)));
+  }
+  EXPECT_NEAR(large.mean(), 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(61);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(67);
+  const std::vector<double> w{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeights) {
+  Rng rng(71);
+  const std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(w), 1u);
+}
+
+TEST(Rng, CategoricalRejectsInvalid) {
+  Rng rng(73);
+  const std::vector<double> empty;
+  EXPECT_THROW(rng.categorical(empty), InvalidArgument);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zero), InvalidArgument);
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(rng.categorical(negative), InvalidArgument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(79);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(83);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(89);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(97);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml

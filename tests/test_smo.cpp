@@ -1,0 +1,233 @@
+// Tests for the SMO solver and kernel-row cache.
+#include "ml/smo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/kernel.hpp"
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml::ml {
+namespace {
+
+/// Builds an SMO problem for a hard-margin-ish linear SVM over given points.
+struct LinearProblemFixture {
+  Matrix X;
+  std::vector<signed char> y;
+  std::vector<double> p;
+  std::vector<double> c;
+  Kernel kernel = Kernel::linear();
+
+  SmoProblem problem() {
+    SmoProblem prob;
+    prob.n = X.rows();
+    prob.p = p;
+    prob.y = y;
+    prob.c = c;
+    prob.kernel_row = [this](std::size_t i, std::span<double> out) {
+      for (std::size_t j = 0; j < X.rows(); ++j) {
+        out[j] = kernel(X.row(i), X.row(j));
+      }
+    };
+    return prob;
+  }
+
+  void add(double x0, double x1, int label) {
+    X.append_row(std::vector<double>{x0, x1});
+    y.push_back(static_cast<signed char>(label));
+    p.push_back(-1.0);
+    c.push_back(10.0);
+  }
+
+  double decision(const SmoResult& r, std::span<const double> x) {
+    double f = -r.rho;
+    for (std::size_t i = 0; i < X.rows(); ++i) {
+      f += r.alpha[i] * static_cast<double>(y[i]) * kernel(X.row(i), x);
+    }
+    return f;
+  }
+};
+
+TEST(Smo, SolvesTinySeparableProblem) {
+  LinearProblemFixture fx;
+  fx.add(2.0, 0.0, 1);
+  fx.add(3.0, 1.0, 1);
+  fx.add(-2.0, 0.0, -1);
+  fx.add(-3.0, -1.0, -1);
+  const auto result = solve_smo(fx.problem());
+  EXPECT_TRUE(result.converged);
+  // Equality constraint Σ y_i a_i = 0.
+  double balance = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    balance += result.alpha[i] * static_cast<double>(fx.y[i]);
+    EXPECT_GE(result.alpha[i], 0.0);
+    EXPECT_LE(result.alpha[i], 10.0);
+  }
+  EXPECT_NEAR(balance, 0.0, 1e-9);
+  // Correct sign on both sides.
+  EXPECT_GT(fx.decision(result, std::vector<double>{2.5, 0.5}), 0.0);
+  EXPECT_LT(fx.decision(result, std::vector<double>{-2.5, -0.5}), 0.0);
+}
+
+TEST(Smo, MarginIsMaximal) {
+  // Two points at x = ±1: the maximum-margin hyperplane is x = 0 and the
+  // analytic dual solution is alpha = [0.5, 0.5], w = 1, rho = 0.
+  LinearProblemFixture fx;
+  fx.add(1.0, 0.0, 1);
+  fx.add(-1.0, 0.0, -1);
+  const auto result = solve_smo(fx.problem());
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.alpha[0], 0.5, 1e-6);
+  EXPECT_NEAR(result.alpha[1], 0.5, 1e-6);
+  EXPECT_NEAR(result.rho, 0.0, 1e-6);
+  EXPECT_NEAR(fx.decision(result, std::vector<double>{1.0, 0.0}), 1.0,
+              1e-6);
+}
+
+TEST(Smo, KktConditionsHoldAtSolution) {
+  // KKT complementarity on a random soft-margin problem:
+  //   y_i f(x_i) > 1  =>  a_i = 0
+  //   y_i f(x_i) < 1  =>  a_i = C
+  //   0 < a_i < C     =>  y_i f(x_i) = 1
+  Rng rng(21);
+  LinearProblemFixture fx;
+  for (int i = 0; i < 80; ++i) {
+    const int label = i % 2 == 0 ? 1 : -1;
+    fx.add(rng.normal(label * 1.0, 1.5), rng.normal(0.0, 1.0), label);
+  }
+  for (auto& ci : fx.c) ci = 1.0;
+  SmoConfig cfg;
+  cfg.tolerance = 1e-4;
+  const auto result = solve_smo(fx.problem(), cfg);
+  EXPECT_TRUE(result.converged);
+  const double kkt_tol = 1e-2;
+  for (std::size_t i = 0; i < fx.X.rows(); ++i) {
+    const double margin = static_cast<double>(fx.y[i]) *
+                          fx.decision(result, fx.X.row(i));
+    if (margin > 1.0 + kkt_tol) {
+      EXPECT_NEAR(result.alpha[i], 0.0, 1e-9) << "row " << i;
+    } else if (margin < 1.0 - kkt_tol) {
+      EXPECT_NEAR(result.alpha[i], 1.0, 1e-9) << "row " << i;
+    } else if (result.alpha[i] > 1e-6 && result.alpha[i] < 1.0 - 1e-6) {
+      EXPECT_NEAR(margin, 1.0, kkt_tol) << "row " << i;
+    }
+  }
+}
+
+TEST(Smo, RbfSolvesNonlinearRing) {
+  // Inner cluster vs outer ring — linearly inseparable, RBF separable.
+  Rng rng(3);
+  Matrix X;
+  std::vector<signed char> y;
+  for (int i = 0; i < 60; ++i) {
+    const double angle = rng.uniform(0.0, 6.283);
+    const double radius = i % 2 == 0 ? rng.uniform(0.0, 1.0)
+                                     : rng.uniform(3.0, 4.0);
+    X.append_row(std::vector<double>{radius * std::cos(angle),
+                                     radius * std::sin(angle)});
+    y.push_back(i % 2 == 0 ? 1 : -1);
+  }
+  const Kernel kernel = Kernel::rbf(0.5);
+  std::vector<double> p(X.rows(), -1.0);
+  std::vector<double> c(X.rows(), 100.0);
+  SmoProblem prob;
+  prob.n = X.rows();
+  prob.p = p;
+  prob.y = y;
+  prob.c = c;
+  prob.kernel_row = [&](std::size_t i, std::span<double> out) {
+    for (std::size_t j = 0; j < X.rows(); ++j) {
+      out[j] = kernel(X.row(i), X.row(j));
+    }
+  };
+  const auto result = solve_smo(prob);
+  EXPECT_TRUE(result.converged);
+  // All training points classified correctly.
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    double f = -result.rho;
+    for (std::size_t j = 0; j < X.rows(); ++j) {
+      f += result.alpha[j] * static_cast<double>(y[j]) *
+           kernel(X.row(j), X.row(i));
+    }
+    EXPECT_GT(f * static_cast<double>(y[i]), 0.0);
+  }
+}
+
+TEST(Smo, ObjectiveIsNegativeForNontrivialSolution) {
+  LinearProblemFixture fx;
+  fx.add(1.0, 0.0, 1);
+  fx.add(-1.0, 0.0, -1);
+  const auto result = solve_smo(fx.problem());
+  // Dual objective 1/2 aQa - Σa at optimum is negative when any a > 0.
+  EXPECT_LT(result.objective, 0.0);
+}
+
+TEST(Smo, IterationCapReported) {
+  LinearProblemFixture fx;
+  for (int i = 0; i < 20; ++i) {
+    fx.add(static_cast<double>(i % 5), static_cast<double>(i % 3),
+           i % 2 == 0 ? 1 : -1);
+  }
+  SmoConfig cfg;
+  cfg.max_iterations = 1;
+  const auto result = solve_smo(fx.problem(), cfg);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 1u);
+}
+
+TEST(Smo, ValidatesInputs) {
+  SmoProblem empty;
+  EXPECT_THROW(solve_smo(empty), InvalidArgument);
+  LinearProblemFixture fx;
+  fx.add(1.0, 0.0, 1);
+  fx.add(-1.0, 0.0, -1);
+  auto prob = fx.problem();
+  prob.kernel_row = nullptr;
+  EXPECT_THROW(solve_smo(prob), InvalidArgument);
+}
+
+TEST(KernelRowCache, ComputesAndCaches) {
+  int computations = 0;
+  KernelRowCache cache(4, 2, [&](std::size_t i, std::span<double> out) {
+    ++computations;
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      out[j] = static_cast<double>(i * 10 + j);
+    }
+  });
+  const auto row1 = cache.row(1);
+  EXPECT_DOUBLE_EQ(row1[3], 13.0);
+  (void)cache.row(1);  // hit
+  EXPECT_EQ(computations, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(KernelRowCache, EvictsLeastRecentlyUsed) {
+  int computations = 0;
+  KernelRowCache cache(4, 2, [&](std::size_t, std::span<double> out) {
+    ++computations;
+    for (auto& v : out) v = 0.0;
+  });
+  (void)cache.row(0);
+  (void)cache.row(1);
+  (void)cache.row(0);  // refresh 0; 1 becomes LRU
+  (void)cache.row(2);  // evicts 1
+  (void)cache.row(0);  // still cached
+  EXPECT_EQ(computations, 3);
+  (void)cache.row(1);  // must recompute
+  EXPECT_EQ(computations, 4);
+}
+
+TEST(KernelRowCache, RejectsOutOfRange) {
+  KernelRowCache cache(2, 2, [](std::size_t, std::span<double> out) {
+    for (auto& v : out) v = 0.0;
+  });
+  EXPECT_THROW(cache.row(2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml::ml

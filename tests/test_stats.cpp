@@ -1,0 +1,170 @@
+// Tests for streaming and batch statistics.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_THROW(rs.min(), InvalidArgument);
+  EXPECT_THROW(rs.max(), InvalidArgument);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats rs;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.population_variance(), 4.0, 1e-12);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, CovMatchesDefinition) {
+  RunningStats rs;
+  for (const double x : {10.0, 12.0, 8.0, 11.0, 9.0}) rs.add(x);
+  EXPECT_NEAR(rs.cov(), rs.stddev() / rs.mean(), 1e-14);
+}
+
+TEST(RunningStats, CovZeroMeanConvention) {
+  RunningStats rs;
+  rs.add(-1.0);
+  rs.add(1.0);
+  EXPECT_DOUBLE_EQ(rs.cov(), 0.0);  // zero mean -> COV defined as 0
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, NumericalStabilityLargeOffset) {
+  // Naive sum-of-squares would lose all precision here; Welford must not.
+  RunningStats rs;
+  const double offset = 1e9;
+  for (const double x : {offset + 4.0, offset + 7.0, offset + 13.0,
+                         offset + 16.0}) {
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(rs.variance(), 30.0, 1e-6);
+}
+
+TEST(BatchStats, MeanAndVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(BatchStats, EmptyInputs) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+  EXPECT_DOUBLE_EQ(median(xs), 0.0);
+}
+
+TEST(BatchStats, MedianOddEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(BatchStats, QuantileInterpolation) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+  EXPECT_THROW(quantile(xs, 1.5), InvalidArgument);
+}
+
+TEST(BatchStats, PearsonPerfectAndAnti) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(BatchStats, PearsonDegenerate) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+  EXPECT_THROW(pearson(xs, std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(BatchStats, PearsonIndependentNearZero) {
+  Rng rng(13);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  const std::vector<double> xs{-1.0, 0.1, 0.2, 0.55, 0.9, 2.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 3u);  // -1 clamped in, 0.1, 0.2
+  EXPECT_EQ(h[1], 3u);  // 0.55, 0.9, 2.0 clamped in
+}
+
+TEST(Histogram, RejectsBadArguments) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(histogram(xs, 0.0, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(histogram(xs, 1.0, 0.0, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml

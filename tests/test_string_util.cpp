@@ -1,0 +1,48 @@
+// Tests for string helpers.
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xdmodml {
+namespace {
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(to_lower("VaSp-5.3_X"), "vasp-5.3_x");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a:b::c", ':'),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x,", ','), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("/opt/apps/vasp", "/opt"));
+  EXPECT_FALSE(starts_with("vasp", "/opt"));
+  EXPECT_TRUE(ends_with("namd2", "2"));
+  EXPECT_FALSE(ends_with("a", "ab"));
+}
+
+TEST(StringUtil, Basename) {
+  EXPECT_EQ(basename("/opt/apps/vasp/vasp_std"), "vasp_std");
+  EXPECT_EQ(basename("a.out"), "a.out");
+  EXPECT_EQ(basename("/trailing/"), "");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace xdmodml

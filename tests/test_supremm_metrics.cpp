@@ -1,0 +1,110 @@
+// Tests for the SUPReMM metric catalogue and attribute schema.
+#include "supremm/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace xdmodml::supremm {
+namespace {
+
+TEST(MetricCatalog, CompleteAndConsistent) {
+  const auto& catalog = metric_catalog();
+  EXPECT_EQ(catalog.size(), kNumMetrics);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(catalog[i].id), i)
+        << "catalog order must match MetricId order";
+    EXPECT_NE(catalog[i].name, nullptr);
+    EXPECT_TRUE(names.insert(catalog[i].name).second)
+        << "duplicate metric name " << catalog[i].name;
+  }
+}
+
+TEST(MetricCatalog, PaperTable1MetricsPresent) {
+  // Spot-check the metrics the paper's Table 1 lists.
+  for (const char* name :
+       {"CPU_SYSTEM", "CPU_USER", "CPU_IDLE", "CPLD", "CPI", "MEMORY_USED",
+        "MEMORY_TRANSFERRED", "ETHERNET_TRANSMIT", "INFINIBAND_RECEIVE",
+        "HOME_WRITE", "SCRATCH_WRITE", "LUSTRE_TRANSMIT",
+        "LOCAL_DISK_READ_IOS", "LOCAL_DISK_READ_BYTES", "NODES"}) {
+    bool found = false;
+    for (const auto& info : metric_catalog()) {
+      if (std::string(info.name) == name) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "missing Table 1 metric " << name;
+  }
+}
+
+TEST(MetricCatalog, LookupHelpers) {
+  EXPECT_EQ(metric_name(MetricId::kCpi), "CPI");
+  EXPECT_EQ(metric_info(MetricId::kMemUsed).category,
+            MetricCategory::kMemory);
+  EXPECT_STREQ(category_name(MetricCategory::kIo), "IO");
+}
+
+TEST(Attribute, NamesCovSuffix) {
+  const Attribute mean_attr{MetricId::kCpuUser, false};
+  const Attribute cov_attr{MetricId::kCpuUser, true};
+  EXPECT_EQ(mean_attr.name(), "CPU_USER");
+  EXPECT_EQ(cov_attr.name(), "CPU_USER_COV");
+}
+
+TEST(AttributeSchema, FullHas48Attributes) {
+  const auto schema = AttributeSchema::full();
+  // 26 means + 22 COV attributes (catastrophe, imbalance, nodes and
+  // cores/node have no COV).
+  EXPECT_EQ(schema.size(), 48u);
+  std::size_t covs = 0;
+  for (const auto& a : schema.attributes()) covs += a.is_cov ? 1 : 0;
+  EXPECT_EQ(covs, 22u);
+}
+
+TEST(AttributeSchema, MeansComeFirst) {
+  const auto schema = AttributeSchema::full();
+  bool seen_cov = false;
+  for (const auto& a : schema.attributes()) {
+    if (a.is_cov) seen_cov = true;
+    EXPECT_FALSE(seen_cov && !a.is_cov) << "mean after a COV attribute";
+  }
+}
+
+TEST(AttributeSchema, NamesUniqueAndIndexable) {
+  const auto schema = AttributeSchema::full();
+  const auto names = schema.names();
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  EXPECT_EQ(schema.index_of("CPI"), 3u);
+  EXPECT_THROW(schema.index_of("NOT_A_METRIC"), InvalidArgument);
+}
+
+TEST(AttributeSchema, SelectSubset) {
+  const auto schema = AttributeSchema::full();
+  const std::vector<std::size_t> keep{schema.index_of("CPI"),
+                                      schema.index_of("MEMORY_USED_COV")};
+  const auto sub = schema.select(keep);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.names()[1], "MEMORY_USED_COV");
+  const std::vector<std::size_t> bad{99};
+  EXPECT_THROW(schema.select(bad), InvalidArgument);
+}
+
+TEST(AttributeSchema, WithoutCovDropsAllCovs) {
+  const auto schema = AttributeSchema::full().without_cov();
+  EXPECT_EQ(schema.size(), 26u);
+  for (const auto& a : schema.attributes()) EXPECT_FALSE(a.is_cov);
+}
+
+TEST(AttributeSchema, RejectsCovOfCovLessMetric) {
+  EXPECT_THROW(AttributeSchema({{MetricId::kNodes, true}}),
+               InvalidArgument);
+  EXPECT_THROW(AttributeSchema({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml::supremm

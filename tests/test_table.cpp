@@ -1,0 +1,66 @@
+// Tests for the ASCII table renderer and numeric formatting.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace xdmodml {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"name", "count"});
+  t.add_row({"alpha", "10"});
+  t.add_row({"b", "2"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, RightAlignsNumbers) {
+  TextTable t({"k", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"y", "100"});
+  const auto out = t.render();
+  // The value column is right-aligned, so "1" is padded to width 3.
+  EXPECT_NE(out.find("  1\n"), std::string::npos);
+}
+
+TEST(TextTable, DoubleRowFormatting) {
+  TextTable t({"label", "a", "b"});
+  t.add_row("r", {1.234, 5.0}, 1);
+  const auto out = t.render();
+  EXPECT_NE(out.find("1.2"), std::string::npos);
+  EXPECT_NE(out.find("5.0"), std::string::npos);
+}
+
+TEST(TextTable, RejectsBadShapes) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), InvalidArgument);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(TextTable({"a"}, {Align::kLeft, Align::kRight}),
+               InvalidArgument);
+}
+
+TEST(Format, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(Format, FormatPercent) {
+  EXPECT_EQ(format_percent(0.9695, 2), "96.95");
+  EXPECT_EQ(format_percent(1.0, 0), "100");
+}
+
+TEST(Format, AsciiBar) {
+  EXPECT_EQ(ascii_bar(1.0, 1.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.5, 1.0, 10), "#####");
+  EXPECT_EQ(ascii_bar(0.0, 1.0, 10), "");
+  EXPECT_EQ(ascii_bar(2.0, 1.0, 4), "####");  // clamped
+  EXPECT_EQ(ascii_bar(1.0, 0.0, 4), "");      // degenerate max
+}
+
+}  // namespace
+}  // namespace xdmodml

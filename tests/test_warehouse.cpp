@@ -1,0 +1,170 @@
+// Tests for the XDMoD-lite warehouse: ingest, filters, group-by
+// aggregation and report rendering.
+#include "xdmod/warehouse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xdmodml::xdmod {
+namespace {
+
+using supremm::JobSummary;
+using supremm::LabelSource;
+using supremm::MetricId;
+
+JobSummary job(const std::string& app, const std::string& category,
+               std::uint32_t nodes, double wall_hours, int exit_code = 0) {
+  JobSummary j;
+  j.application = app;
+  j.category = category;
+  j.label_source = app.empty() ? LabelSource::kNotAvailable
+                               : LabelSource::kIdentified;
+  j.nodes = nodes;
+  j.cores_per_node = 16;
+  j.wall_seconds = wall_hours * 3600.0;
+  j.exit_code = exit_code;
+  j.set_mean(MetricId::kCpuUser, 0.8);
+  j.set_mean(MetricId::kMemUsed, 10.0);
+  return j;
+}
+
+Warehouse small_warehouse() {
+  Warehouse w;
+  w.ingest(job("VASP", "QC,ES", 4, 2.0));
+  w.ingest(job("VASP", "QC,ES", 2, 1.0, 1));
+  w.ingest(job("NAMD", "MD", 8, 4.0));
+  w.ingest(job("", "", 1, 0.5));
+  return w;
+}
+
+TEST(Warehouse, IngestAndSize) {
+  const auto w = small_warehouse();
+  EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(Warehouse, QueryWithFilters) {
+  const auto w = small_warehouse();
+  Filter f;
+  f.application = "VASP";
+  EXPECT_EQ(w.query(f).size(), 2u);
+  Filter g;
+  g.min_nodes = 4;
+  EXPECT_EQ(w.query(g).size(), 2u);
+  Filter h;
+  h.label_source = LabelSource::kNotAvailable;
+  EXPECT_EQ(w.query(h).size(), 1u);
+  Filter combo;
+  combo.application = "VASP";
+  combo.max_nodes = 2;
+  EXPECT_EQ(w.query(combo).size(), 1u);
+}
+
+TEST(Warehouse, JobCountByApplication) {
+  const auto w = small_warehouse();
+  const auto rows = w.aggregate(Dimension::kApplication,
+                                Statistic::kJobCount);
+  ASSERT_EQ(rows.size(), 3u);  // VASP, NAMD, (unknown)
+  EXPECT_EQ(rows[0].group, "VASP");
+  EXPECT_DOUBLE_EQ(rows[0].value, 2.0);
+}
+
+TEST(Warehouse, CpuHoursComputation) {
+  const auto w = small_warehouse();
+  const auto rows = w.aggregate(Dimension::kApplication,
+                                Statistic::kCpuHours);
+  // NAMD: 8 nodes * 16 cores * 4 h = 512 CPU hours — the largest.
+  EXPECT_EQ(rows[0].group, "NAMD");
+  EXPECT_DOUBLE_EQ(rows[0].value, 512.0);
+  // VASP: 4*16*2 + 2*16*1 = 160.
+  EXPECT_EQ(rows[1].group, "VASP");
+  EXPECT_DOUBLE_EQ(rows[1].value, 160.0);
+}
+
+TEST(Warehouse, AveragesDivideByJobCount) {
+  const auto w = small_warehouse();
+  const auto rows =
+      w.aggregate(Dimension::kApplication, Statistic::kAvgWallHours);
+  for (const auto& row : rows) {
+    if (row.group == "VASP") {
+      EXPECT_DOUBLE_EQ(row.value, 1.5);
+    }
+  }
+}
+
+TEST(Warehouse, GroupByJobSizeBuckets) {
+  const auto w = small_warehouse();
+  const auto rows = w.aggregate(Dimension::kJobSize, Statistic::kJobCount);
+  std::size_t total = 0;
+  for (const auto& row : rows) total += row.job_count;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(Warehouse, GroupByExitStatus) {
+  const auto w = small_warehouse();
+  const auto rows = w.aggregate(Dimension::kExitStatus,
+                                Statistic::kJobCount);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].group, "success");
+  EXPECT_DOUBLE_EQ(rows[0].value, 3.0);
+}
+
+TEST(Warehouse, FilteredAggregate) {
+  const auto w = small_warehouse();
+  Filter f;
+  f.category = "QC,ES";
+  const auto rows = w.aggregate(Dimension::kApplication,
+                                Statistic::kJobCount, f);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].group, "VASP");
+}
+
+TEST(Warehouse, ReportRenders) {
+  const auto w = small_warehouse();
+  const auto text = w.report(Dimension::kApplication, Statistic::kJobCount);
+  EXPECT_NE(text.find("VASP"), std::string::npos);
+  EXPECT_NE(text.find("application"), std::string::npos);
+}
+
+TEST(Warehouse, MonthDimensionAndTimeFilter) {
+  Warehouse w;
+  auto early = job("VASP", "QC,ES", 1, 1.0);
+  early.start_epoch_seconds = 5.0 * 24 * 3600;     // month 00
+  auto late = job("VASP", "QC,ES", 1, 1.0);
+  late.start_epoch_seconds = 40.0 * 24 * 3600;     // month 01
+  w.ingest(early);
+  w.ingest(late);
+  const auto rows = w.aggregate(Dimension::kMonth, Statistic::kJobCount);
+  ASSERT_EQ(rows.size(), 2u);
+  Filter f;
+  f.start_after = 30.0 * 24 * 3600;
+  EXPECT_EQ(w.query(f).size(), 1u);
+  Filter g;
+  g.start_before = 30.0 * 24 * 3600;
+  EXPECT_EQ(w.query(g).size(), 1u);
+}
+
+TEST(MonthBucket, Formatting) {
+  EXPECT_EQ(month_bucket(0.0), "month 00");
+  EXPECT_EQ(month_bucket(31.0 * 24 * 3600), "month 01");
+  EXPECT_EQ(month_bucket(-5.0), "month 00");
+  EXPECT_EQ(month_bucket(330.0 * 24 * 3600), "month 11");
+}
+
+TEST(JobSizeBucket, Boundaries) {
+  EXPECT_EQ(job_size_bucket(1), "1");
+  EXPECT_EQ(job_size_bucket(2), "2-4");
+  EXPECT_EQ(job_size_bucket(4), "2-4");
+  EXPECT_EQ(job_size_bucket(5), "5-16");
+  EXPECT_EQ(job_size_bucket(16), "5-16");
+  EXPECT_EQ(job_size_bucket(17), "17-64");
+  EXPECT_EQ(job_size_bucket(64), "17-64");
+  EXPECT_EQ(job_size_bucket(65), "65+");
+  EXPECT_EQ(job_size_bucket(4096), "65+");
+}
+
+TEST(Names, DimensionAndStatisticNames) {
+  EXPECT_STREQ(dimension_name(Dimension::kJobSize), "job size");
+  EXPECT_STREQ(statistic_name(Statistic::kCpuHours), "CPU hours");
+}
+
+}  // namespace
+}  // namespace xdmodml::xdmod

@@ -1,0 +1,263 @@
+// Tests for the workload generator: signatures, mixes, pools, exit-code
+// model, determinism, and dataset helpers.
+#include "workload/dataset_helpers.hpp"
+#include "workload/generator.hpp"
+#include "workload/signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xdmodml::workload {
+namespace {
+
+using supremm::LabelSource;
+using supremm::MetricId;
+
+GeneratorConfig fast_config() {
+  GeneratorConfig cfg;
+  cfg.parallel = true;
+  return cfg;
+}
+
+TEST(Signatures, StandardSetMatchesLariatTable) {
+  const auto sigs = standard_signatures();
+  const auto table = lariat::ApplicationTable::standard();
+  EXPECT_EQ(sigs.size(), table.size());
+  for (const auto& sig : sigs) {
+    EXPECT_NE(table.find(sig.application), nullptr) << sig.application;
+    // Each signature's executable must identify as its own application.
+    const auto id = table.identify(sig.executable);
+    EXPECT_EQ(id.application, sig.application) << sig.executable;
+  }
+}
+
+TEST(Signatures, FindSignature) {
+  const auto sigs = standard_signatures();
+  EXPECT_EQ(find_signature(sigs, "VASP").application, "VASP");
+  EXPECT_THROW(find_signature(sigs, "NOPE"), InvalidArgument);
+}
+
+TEST(Signatures, VaspDominatesMix) {
+  const auto sigs = standard_signatures();
+  double total = 0.0;
+  double vasp = 0.0;
+  for (const auto& s : sigs) {
+    total += s.mix_weight;
+    if (s.application == "VASP") vasp = s.mix_weight;
+  }
+  // Paper: VASP is ~33% of the native mixture.
+  EXPECT_NEAR(vasp / total, 0.33, 0.05);
+}
+
+TEST(TemporalShapes, FactorsBoundedAndPositive) {
+  for (const auto kind :
+       {TemporalShape::Kind::kSteady, TemporalShape::Kind::kBurstyIo,
+        TemporalShape::Kind::kPhased, TemporalShape::Kind::kRampUp,
+        TemporalShape::Kind::kFrontLoaded}) {
+    const TemporalShape shape{kind, 4.0, 0.5};
+    for (std::size_t i = 0; i < 20; ++i) {
+      EXPECT_GT(shape.compute_factor(i), 0.0);
+      EXPECT_LE(shape.compute_factor(i), 1.5);
+      EXPECT_GT(shape.io_factor(i), 0.0);
+    }
+  }
+}
+
+TEST(Generator, NativeJobsAreIdentified) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 7);
+  const auto jobs = gen.generate_native(60);
+  EXPECT_EQ(jobs.size(), 60u);
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job.summary.label_source, LabelSource::kIdentified);
+    EXPECT_FALSE(job.summary.application.empty());
+    EXPECT_FALSE(job.summary.category.empty());
+    EXPECT_GE(job.summary.nodes, 1u);
+    EXPECT_GT(job.summary.wall_seconds, 0.0);
+  }
+}
+
+TEST(Generator, JobIdsAreUnique) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 8);
+  const auto jobs = gen.generate_native(50);
+  std::set<std::uint64_t> ids;
+  for (const auto& job : jobs) ids.insert(job.summary.job_id);
+  EXPECT_EQ(ids.size(), jobs.size());
+}
+
+TEST(Generator, GenerateForProducesOnlyThatApp) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 9);
+  const auto jobs = gen.generate_for("GROMACS", 20);
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job.summary.application, "GROMACS");
+  }
+}
+
+TEST(Generator, BalancedHasEqualCounts) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 10);
+  const auto jobs = gen.generate_balanced(5);
+  std::map<std::string, int> counts;
+  for (const auto& job : jobs) ++counts[job.summary.application];
+  EXPECT_EQ(counts.size(), gen.signatures().size());
+  for (const auto& [app, n] : counts) EXPECT_EQ(n, 5) << app;
+}
+
+TEST(Generator, UncategorizedPoolHasNoApplication) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 11);
+  const auto jobs = gen.generate_uncategorized(25);
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job.summary.label_source, LabelSource::kUncategorized);
+    EXPECT_TRUE(job.summary.application.empty());
+    EXPECT_FALSE(job.summary.executable_path.empty());
+  }
+}
+
+TEST(Generator, NaPoolHasNoLariatRecord) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 12);
+  const auto jobs = gen.generate_na(25);
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job.summary.label_source, LabelSource::kNotAvailable);
+    EXPECT_TRUE(job.summary.executable_path.empty());
+  }
+}
+
+TEST(Generator, DeterministicForFixedSeed) {
+  auto a = WorkloadGenerator::standard(fast_config(), 42);
+  auto b = WorkloadGenerator::standard(fast_config(), 42);
+  const auto ja = a.generate_native(15);
+  const auto jb = b.generate_native(15);
+  ASSERT_EQ(ja.size(), jb.size());
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_EQ(ja[i].summary.application, jb[i].summary.application);
+    EXPECT_DOUBLE_EQ(ja[i].summary.mean_of(MetricId::kCpi),
+                     jb[i].summary.mean_of(MetricId::kCpi));
+    EXPECT_DOUBLE_EQ(ja[i].summary.cov_of(MetricId::kMemUsed),
+                     jb[i].summary.cov_of(MetricId::kMemUsed));
+  }
+}
+
+TEST(Generator, ParallelMatchesSerial) {
+  auto cfg_ser = fast_config();
+  cfg_ser.parallel = false;
+  auto a = WorkloadGenerator::standard(fast_config(), 77);
+  auto b = WorkloadGenerator::standard(cfg_ser, 77);
+  const auto ja = a.generate_native(10);
+  const auto jb = b.generate_native(10);
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ja[i].summary.mean_of(MetricId::kFlops),
+                     jb[i].summary.mean_of(MetricId::kFlops));
+  }
+}
+
+TEST(Generator, ExitCodeLooselyCoupledToSuccess) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 13);
+  const auto jobs = gen.generate_native(400);
+  std::size_t succeeded_nonzero = 0;
+  std::size_t succeeded = 0;
+  for (const auto& job : jobs) {
+    if (job.summary.application_succeeded) {
+      ++succeeded;
+      if (job.summary.exit_code != 0) ++succeeded_nonzero;
+    }
+  }
+  ASSERT_GT(succeeded, 100u);
+  // Script noise: a nontrivial fraction of successful jobs exit nonzero.
+  const double noise_rate =
+      static_cast<double>(succeeded_nonzero) / static_cast<double>(succeeded);
+  EXPECT_GT(noise_rate, 0.05);
+  EXPECT_LT(noise_rate, 0.25);
+}
+
+TEST(Generator, MetricsAreSane) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 14);
+  const auto jobs = gen.generate_native(80);
+  for (const auto& job : jobs) {
+    const auto& s = job.summary;
+    const double user = s.mean_of(MetricId::kCpuUser);
+    const double sys = s.mean_of(MetricId::kCpuSystem);
+    const double idle = s.mean_of(MetricId::kCpuIdle);
+    EXPECT_GE(user, 0.0);
+    EXPECT_NEAR(user + sys + idle, 1.0, 1e-6);
+    EXPECT_GT(s.mean_of(MetricId::kCpi), 0.0);
+    EXPECT_LT(s.mean_of(MetricId::kCpi), 20.0);
+    EXPECT_GT(s.mean_of(MetricId::kMemUsed), 0.0);
+    EXPECT_LT(s.mean_of(MetricId::kMemUsed), 32.0);  // Stampede nodes
+    EXPECT_GE(s.mean_of(MetricId::kCatastrophe), 0.0);
+    EXPECT_LE(s.mean_of(MetricId::kCatastrophe), 1.0 + 1e-9);
+    EXPECT_GE(s.cov_of(MetricId::kMemUsed), 0.0);
+  }
+}
+
+TEST(Generator, CustomSignaturesAreDiverse) {
+  Rng rng(15);
+  RunningStats cpi;
+  for (int i = 0; i < 200; ++i) {
+    const auto sig = random_custom_signature(rng);
+    cpi.add(sig.cpi.median);
+    EXPECT_TRUE(sig.application.empty());
+  }
+  // Much wider CPI spread than any single community app.
+  EXPECT_GT(cpi.cov(), 0.4);
+}
+
+TEST(Platform, StampedeVsMaverickDiffer) {
+  const auto a = Platform::stampede();
+  const auto b = Platform::maverick();
+  EXPECT_NE(a.cores_per_node, b.cores_per_node);
+  EXPECT_NE(a.mem_bw_scale, b.mem_bw_scale);
+  // The same signature yields shifted mean metrics across platforms.
+  const auto sigs = standard_signatures();
+  const auto& vasp = find_signature(sigs, "VASP");
+  Rng rng(16);
+  const auto draw_a = vasp.draw_job(a, rng);
+  Rng rng2(16);
+  const auto draw_b = vasp.draw_job(b, rng2);
+  EXPECT_NE(draw_a.cpi, draw_b.cpi);  // cpi_scale differs
+}
+
+TEST(DatasetHelpers, SummaryDatasetShape) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 17);
+  const auto jobs = gen.generate_native(40);
+  const auto schema = supremm::AttributeSchema::full();
+  const auto ds = build_summary_dataset(jobs, schema,
+                                        supremm::label_by_application());
+  EXPECT_EQ(ds.num_features(), schema.size());
+  EXPECT_EQ(ds.size(), 40u);
+  EXPECT_FALSE(ds.class_names.empty());
+}
+
+TEST(DatasetHelpers, TimeDatasetShape) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 18);
+  const auto jobs = gen.generate_native(30);
+  const auto names = gen.time_feature_names();
+  const auto ds =
+      build_time_dataset(jobs, names, supremm::label_by_application());
+  EXPECT_EQ(ds.num_features(), names.size());
+  EXPECT_EQ(ds.size(), 30u);
+}
+
+TEST(DatasetHelpers, CombinedDatasetConcatenates) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 19);
+  const auto jobs = gen.generate_native(20);
+  const auto schema = supremm::AttributeSchema::full();
+  const auto names = gen.time_feature_names();
+  const auto ds = build_combined_dataset(jobs, schema, names,
+                                         supremm::label_by_application());
+  EXPECT_EQ(ds.num_features(), schema.size() + names.size());
+}
+
+TEST(DatasetHelpers, PoolAndSummaries) {
+  auto gen = WorkloadGenerator::standard(fast_config(), 20);
+  const auto jobs = gen.generate_uncategorized(15);
+  const auto schema = supremm::AttributeSchema::full();
+  const auto pool = build_summary_pool(jobs, schema);
+  EXPECT_EQ(pool.size(), 15u);
+  EXPECT_TRUE(pool.labels.empty());
+  EXPECT_EQ(summaries_of(jobs).size(), 15u);
+}
+
+}  // namespace
+}  // namespace xdmodml::workload
