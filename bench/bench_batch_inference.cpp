@@ -1,0 +1,149 @@
+// Batched inference throughput: single-job ingest vs ingest_batch.
+//
+// The ROADMAP's north star is a production service under heavy traffic;
+// the paper's headline workflow pushes every Uncategorized/NA job
+// through the classifier, so classification throughput — not just
+// accuracy — is the deployment bottleneck.  This bench ingests the same
+// unidentified pool twice into a ClassificationService: once through the
+// serial single-job `ingest` loop and once through `ingest_batch`, which
+// classifies on the shared thread pool, and reports jobs/sec for both.
+// On a multi-core host the batched path should scale with the pool size
+// (≥ 2× on 2+ cores); on one core the two are equivalent.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/classification_service.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace xdmodml;
+using namespace xdmodml::bench;
+
+std::shared_ptr<const core::JobClassifier> train_classifier(
+    workload::WorkloadGenerator& gen) {
+  const auto schema = supremm::AttributeSchema::full();
+  const auto train_jobs = generate_table2_train(gen, scaled(60));
+  const auto train = workload::build_summary_dataset(
+      train_jobs, schema, supremm::label_by_application(),
+      table2_applications());
+  core::JobClassifierConfig cfg;
+  cfg.algorithm = core::Algorithm::kRandomForest;
+  cfg.forest.num_trees = 150;
+  auto clf = std::make_shared<core::JobClassifier>(cfg);
+  clf->train(train);
+  return clf;
+}
+
+std::vector<supremm::JobSummary> unidentified_pool(
+    workload::WorkloadGenerator& gen, std::size_t n) {
+  std::vector<supremm::JobSummary> jobs;
+  jobs.reserve(n);
+  for (const auto& job : gen.generate_na(n, /*community_fraction=*/1.0)) {
+    jobs.push_back(job.summary);
+  }
+  return jobs;
+}
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void run_experiment() {
+  auto gen = workload::WorkloadGenerator::standard({}, 515);
+  const auto clf = train_classifier(gen);
+  const auto jobs = unidentified_pool(gen, scaled(1500));
+
+  std::printf("=== batched inference: %zu unidentified jobs, %zu pool "
+              "thread(s) ===\n\n",
+              jobs.size(), ThreadPool::global().size());
+
+  core::ClassificationService serial(clf, 0.5);
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& job : jobs) serial.ingest(job);
+  const double serial_s = seconds_since(start);
+
+  core::ClassificationService batched(clf, 0.5);
+  start = std::chrono::steady_clock::now();
+  batched.ingest_batch(jobs);
+  const double batch_s = seconds_since(start);
+
+  if (serial.stats().attributed != batched.stats().attributed ||
+      serial.stats().total() != batched.stats().total()) {
+    std::printf("ERROR: serial and batched outcomes disagree\n");
+    return;
+  }
+
+  const double n = static_cast<double>(jobs.size());
+  TextTable table({"path", "seconds", "jobs/sec"});
+  table.add_row({"serial ingest", format_double(serial_s, 3),
+                 format_double(n / serial_s, 0)});
+  table.add_row({"ingest_batch", format_double(batch_s, 3),
+                 format_double(n / batch_s, 0)});
+  std::printf("%s", table.render().c_str());
+  std::printf("\nbatched speedup: %.2fx (%zu attributed, %zu unresolved "
+              "on both paths)\n",
+              serial_s / batch_s, serial.stats().attributed,
+              serial.stats().unresolved);
+}
+
+void bm_serial_ingest(benchmark::State& state) {
+  auto gen = workload::WorkloadGenerator::standard({}, 516);
+  const auto clf = train_classifier(gen);
+  const auto jobs =
+      unidentified_pool(gen, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::ClassificationService service(clf, 0.5);
+    for (const auto& job : jobs) service.ingest(job);
+    benchmark::DoNotOptimize(service.stats().total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(bm_serial_ingest)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void bm_batch_ingest(benchmark::State& state) {
+  auto gen = workload::WorkloadGenerator::standard({}, 516);
+  const auto clf = train_classifier(gen);
+  const auto jobs =
+      unidentified_pool(gen, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::ClassificationService service(clf, 0.5);
+    service.ingest_batch(jobs);
+    benchmark::DoNotOptimize(service.stats().total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(bm_batch_ingest)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void bm_predict_proba_batch(benchmark::State& state) {
+  auto gen = workload::WorkloadGenerator::standard({}, 517);
+  const auto clf = train_classifier(gen);
+  const auto schema = supremm::AttributeSchema::full();
+  const auto pool_jobs = gen.generate_na(
+      static_cast<std::size_t>(state.range(0)), 1.0);
+  const auto pool = workload::build_summary_pool(pool_jobs, schema);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf->predict_dataset(pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pool.size()));
+}
+BENCHMARK(bm_predict_proba_batch)->Arg(500)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

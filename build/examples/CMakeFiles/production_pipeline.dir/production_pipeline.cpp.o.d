@@ -156,9 +156,7 @@ examples/CMakeFiles/production_pipeline.dir/production_pipeline.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/core/job_classifier.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -199,11 +197,24 @@ examples/CMakeFiles/production_pipeline.dir/production_pipeline.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/core/classification_service.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/ml/classifier.hpp \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/core/job_classifier.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/ml/classifier.hpp \
  /root/repo/src/util/matrix.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/ml/dataset.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -214,16 +225,16 @@ examples/CMakeFiles/production_pipeline.dir/production_pipeline.cpp.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/supremm/job_summary.hpp \
- /root/repo/src/supremm/metrics.hpp /root/repo/src/supremm/summary_io.hpp \
- /root/repo/src/util/csv.hpp /root/repo/src/util/table.hpp \
+ /root/repo/src/supremm/metrics.hpp /root/repo/src/xdmod/warehouse.hpp \
+ /root/repo/src/supremm/summary_io.hpp /root/repo/src/util/csv.hpp \
+ /root/repo/src/util/table.hpp \
  /root/repo/src/workload/dataset_helpers.hpp \
  /root/repo/src/supremm/dataset_builder.hpp \
  /root/repo/src/supremm/efficiency.hpp \

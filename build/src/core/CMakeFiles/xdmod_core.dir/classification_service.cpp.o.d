@@ -200,12 +200,16 @@ src/core/CMakeFiles/xdmod_core.dir/classification_service.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/job_classifier.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/vector \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/ml/classifier.hpp \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/core/job_classifier.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/ml/classifier.hpp \
  /root/repo/src/util/matrix.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/ml/dataset.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -226,4 +230,16 @@ src/core/CMakeFiles/xdmod_core.dir/classification_service.cpp.o: \
  /root/repo/src/supremm/metrics.hpp /root/repo/src/xdmod/warehouse.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/table.hpp
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/table.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread

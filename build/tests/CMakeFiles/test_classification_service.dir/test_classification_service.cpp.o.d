@@ -200,12 +200,16 @@ tests/CMakeFiles/test_classification_service.dir/test_classification_service.cpp
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/job_classifier.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/vector \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/ml/classifier.hpp \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/core/job_classifier.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/ml/classifier.hpp \
  /root/repo/src/util/matrix.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/ml/dataset.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -224,7 +228,7 @@ tests/CMakeFiles/test_classification_service.dir/test_classification_service.cpp
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/supremm/job_summary.hpp \
  /root/repo/src/supremm/metrics.hpp /root/repo/src/xdmod/warehouse.hpp \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -245,7 +249,7 @@ tests/CMakeFiles/test_classification_service.dir/test_classification_service.cpp
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
@@ -254,7 +258,6 @@ tests/CMakeFiles/test_classification_service.dir/test_classification_service.cpp
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
  /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
@@ -304,6 +307,13 @@ tests/CMakeFiles/test_classification_service.dir/test_classification_service.cpp
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/workload/dataset_helpers.hpp \
  /root/repo/src/supremm/dataset_builder.hpp \
  /root/repo/src/supremm/efficiency.hpp \

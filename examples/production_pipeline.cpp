@@ -5,14 +5,19 @@
 //   1. a site exports its SUPReMM job summaries as CSV,
 //   2. a classifier is trained from the CSV and saved to disk,
 //   3. a later process loads the model and classifies a new batch,
-//      writing predictions back out as CSV.
+//      writing predictions back out as CSV,
+//   4. a serving process wraps the same model in a ClassificationService
+//      and bulk-ingests unidentified traffic through the thread-pooled
+//      `ingest_batch` path.
 //
 //   ./build/examples/production_pipeline [workdir]
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "core/classification_service.hpp"
 #include "core/job_classifier.hpp"
 #include "supremm/summary_io.hpp"
 #include "util/csv.hpp"
@@ -94,6 +99,19 @@ int main(int argc, char** argv) {
                 labeled ? 100.0 * static_cast<double>(correct) /
                               static_cast<double>(labeled)
                         : 0.0);
+  }
+
+  // --- 4. Serve: bulk-ingest unidentified traffic through the
+  //        thread-safe batched service path. ---------------------------
+  {
+    std::ifstream model_in(model_file);
+    auto classifier = std::make_shared<core::JobClassifier>(
+        core::JobClassifier::load(model_in));
+    core::ClassificationService service(std::move(classifier), 0.5);
+    auto traffic = workload::summaries_of(
+        generator.generate_na(300, /*community_fraction=*/1.0));
+    service.ingest_batch(std::move(traffic));
+    std::printf("\n%s", service.report().c_str());
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "util/error.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace xdmodml::core {
 
@@ -16,16 +17,28 @@ ClassificationService::ClassificationService(
                 "threshold must be in [0, 1]");
 }
 
-ClassificationService::IngestResult ClassificationService::ingest(
-    supremm::JobSummary job) {
+ClassificationService::IngestResult ClassificationService::classify(
+    const supremm::JobSummary& job) const {
   IngestResult result;
   if (job.label_source == supremm::LabelSource::kIdentified) {
     result.outcome = Outcome::kIdentified;
-    ++stats_.identified;
-  } else {
-    result.prediction = classifier_->predict(job);
-    if (result.prediction.probability >= threshold_) {
-      result.outcome = Outcome::kAttributed;
+    return result;
+  }
+  result.prediction = classifier_->predict(job);
+  result.outcome = result.prediction.probability >= threshold_
+                       ? Outcome::kAttributed
+                       : Outcome::kUnresolved;
+  return result;
+}
+
+void ClassificationService::commit(supremm::JobSummary job,
+                                   const IngestResult& result) {
+  std::lock_guard lock(mutex_);
+  switch (result.outcome) {
+    case Outcome::kIdentified:
+      ++stats_.identified;
+      break;
+    case Outcome::kAttributed: {
       ++stats_.attributed;
       // Store the attribution so warehouse breakdowns include it; the
       // label_source still says where the label came from.
@@ -33,16 +46,51 @@ ClassificationService::IngestResult ClassificationService::ingest(
       const double cpu_hours = job.wall_seconds / 3600.0 * job.nodes *
                                job.cores_per_node;
       attributed_cpu_hours_[result.prediction.class_name] += cpu_hours;
-    } else {
-      result.outcome = Outcome::kUnresolved;
-      ++stats_.unresolved;
+      break;
     }
+    case Outcome::kUnresolved:
+      ++stats_.unresolved;
+      break;
   }
   warehouse_.ingest(std::move(job));
+}
+
+ClassificationService::IngestResult ClassificationService::ingest(
+    supremm::JobSummary job) {
+  const IngestResult result = classify(job);
+  commit(std::move(job), result);
   return result;
 }
 
+std::vector<ClassificationService::IngestResult>
+ClassificationService::ingest_batch(std::vector<supremm::JobSummary> jobs) {
+  std::vector<IngestResult> results(jobs.size());
+  // Phase 1: classify every job in parallel — the classifier is
+  // immutable, so this needs no lock and dominates the ingest cost.
+  ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t i) {
+    results[i] = classify(jobs[i]);
+  });
+  // Phase 2: apply the state updates in job order so the warehouse and
+  // tallies match a serial ingest loop exactly.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    commit(std::move(jobs[i]), results[i]);
+  }
+  return results;
+}
+
+ClassificationService::Stats ClassificationService::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::map<std::string, double> ClassificationService::attributed_cpu_hours()
+    const {
+  std::lock_guard lock(mutex_);
+  return attributed_cpu_hours_;
+}
+
 std::string ClassificationService::report() const {
+  std::lock_guard lock(mutex_);
   std::ostringstream os;
   os << "classification service: " << stats_.total() << " jobs ingested ("
      << stats_.identified << " identified, " << stats_.attributed

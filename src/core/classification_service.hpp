@@ -4,12 +4,23 @@
 // stores every job in the warehouse and, for jobs Lariat could not
 // identify, attributes an application label when the classifier clears a
 // probability threshold.
+//
+// Concurrency contract: the classifier is shared, trained and immutable,
+// so classification itself is lock-free; the mutable service state
+// (stats, warehouse, attributed CPU hours) is guarded by an internal
+// mutex.  Several threads may therefore call `ingest` / `ingest_batch`
+// on the *same* service concurrently and the tallies stay exact.
+// Accessors that return snapshots (`stats`, `attributed_cpu_hours`,
+// `report`) take the same lock; `warehouse()` hands out a reference and
+// must only be used once ingest traffic has quiesced.
 #pragma once
 
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/job_classifier.hpp"
 #include "xdmod/warehouse.hpp"
@@ -38,9 +49,21 @@ class ClassificationService {
 
   /// Classifies (when needed) and stores the job.  Attributed jobs are
   /// stored with the predicted application so downstream warehouse
-  /// queries see it; their Lariat label_source is preserved.
+  /// queries see it; their Lariat label_source is preserved.  Safe to
+  /// call from several threads at once (classification runs outside the
+  /// lock; the state update inside it).
   IngestResult ingest(supremm::JobSummary job);
 
+  /// Batched ingest: classifies the jobs in parallel on the shared
+  /// thread pool, then applies the state updates in job order, so the
+  /// results (and the warehouse contents) match a serial `ingest` loop
+  /// exactly while the expensive classification step uses every core.
+  /// `results[i]` corresponds to `jobs[i]`.
+  std::vector<IngestResult> ingest_batch(
+      std::vector<supremm::JobSummary> jobs);
+
+  /// Warehouse access is unsynchronized — only read it when no other
+  /// thread is ingesting.
   const xdmod::Warehouse& warehouse() const { return warehouse_; }
   const JobClassifier& classifier() const { return *classifier_; }
   double threshold() const { return threshold_; }
@@ -54,19 +77,25 @@ class ClassificationService {
       return identified + attributed + unresolved;
     }
   };
-  const Stats& stats() const { return stats_; }
+  /// Consistent snapshot of the tallies.
+  Stats stats() const;
 
-  /// CPU hours attributed by the classifier, per application.
-  const std::map<std::string, double>& attributed_cpu_hours() const {
-    return attributed_cpu_hours_;
-  }
+  /// CPU hours attributed by the classifier, per application (snapshot).
+  std::map<std::string, double> attributed_cpu_hours() const;
 
   /// Human-readable summary of the service state.
   std::string report() const;
 
  private:
+  /// Classifies a non-identified job (no lock held, no state touched).
+  IngestResult classify(const supremm::JobSummary& job) const;
+
+  /// Applies one classified result under `mutex_` and stores the job.
+  void commit(supremm::JobSummary job, const IngestResult& result);
+
   std::shared_ptr<const JobClassifier> classifier_;
   double threshold_;
+  mutable std::mutex mutex_;  ///< guards everything below
   xdmod::Warehouse warehouse_;
   Stats stats_;
   std::map<std::string, double> attributed_cpu_hours_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace xdmodml::ml {
 
@@ -23,22 +24,32 @@ Prediction Classifier::predict_with_probability(
 
 std::vector<int> Classifier::predict_batch(const Matrix& X) const {
   std::vector<int> out(X.rows());
-  for (std::size_t r = 0; r < X.rows(); ++r) out[r] = predict(X.row(r));
+  ThreadPool::global().parallel_for(
+      0, X.rows(), [&](std::size_t r) { out[r] = predict(X.row(r)); });
+  return out;
+}
+
+std::vector<std::vector<double>> Classifier::predict_proba_batch(
+    const Matrix& X) const {
+  std::vector<std::vector<double>> out(X.rows());
+  ThreadPool::global().parallel_for(
+      0, X.rows(), [&](std::size_t r) { out[r] = predict_proba(X.row(r)); });
   return out;
 }
 
 std::vector<Prediction> Classifier::predict_batch_with_probability(
     const Matrix& X) const {
   std::vector<Prediction> out(X.rows());
-  for (std::size_t r = 0; r < X.rows(); ++r) {
+  ThreadPool::global().parallel_for(0, X.rows(), [&](std::size_t r) {
     out[r] = predict_with_probability(X.row(r));
-  }
+  });
   return out;
 }
 
 std::vector<double> Regressor::predict_batch(const Matrix& X) const {
   std::vector<double> out(X.rows());
-  for (std::size_t r = 0; r < X.rows(); ++r) out[r] = predict(X.row(r));
+  ThreadPool::global().parallel_for(
+      0, X.rows(), [&](std::size_t r) { out[r] = predict(X.row(r)); });
   return out;
 }
 

@@ -38,14 +38,19 @@ class Classifier {
   virtual int predict(std::span<const double> x) const;
 
   /// Predicted class + its probability.  Default: argmax of
-  /// predict_proba.  Models whose label rule is not the probability
-  /// argmax (the one-vs-one SVM votes, as in LIBSVM) override this so
-  /// the label always matches predict().
+  /// predict_proba.  Overrides must keep the label consistent with the
+  /// probability vector — the paper's threshold workflow gates on the
+  /// *reported* class's probability, so the pair must agree.
   virtual Prediction predict_with_probability(
       std::span<const double> x) const;
 
-  /// Convenience batch predictions.
+  /// Batched inference over the rows of X (row-major feature matrix),
+  /// chunked across the process-wide thread pool.  Trained models are
+  /// immutable, so per-row prediction is const-thread-safe; results are
+  /// identical to the serial row-by-row loop regardless of scheduling.
+  /// Safe to call from a pool worker (nested dispatch runs inline).
   std::vector<int> predict_batch(const Matrix& X) const;
+  std::vector<std::vector<double>> predict_proba_batch(const Matrix& X) const;
   std::vector<Prediction> predict_batch_with_probability(
       const Matrix& X) const;
 
@@ -58,6 +63,7 @@ class Regressor {
   virtual ~Regressor() = default;
   virtual void fit(const Matrix& X, std::span<const double> y) = 0;
   virtual double predict(std::span<const double> x) const = 0;
+  /// Batched inference on the shared thread pool (see Classifier).
   std::vector<double> predict_batch(const Matrix& X) const;
 };
 

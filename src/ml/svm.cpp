@@ -474,7 +474,7 @@ std::vector<double> SvmClassifier::predict_proba(
   return votes;
 }
 
-int SvmClassifier::predict(std::span<const double> x) const {
+int SvmClassifier::predict_by_votes(std::span<const double> x) const {
   XDMODML_CHECK(!machines_.empty(), "predict before fit");
   std::vector<std::size_t> votes(static_cast<std::size_t>(num_classes_), 0);
   for (int a = 0; a < num_classes_; ++a) {
@@ -484,15 +484,29 @@ int SvmClassifier::predict(std::span<const double> x) const {
           machine.decision_value(x) > 0.0 ? a : b)];
     }
   }
+  // std::max_element keeps the first maximum: ties go to the lowest
+  // class index, matching the vote-fraction argmax in predict_proba.
   return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
                           votes.begin());
 }
 
+int SvmClassifier::predict(std::span<const double> x) const {
+  XDMODML_CHECK(!machines_.empty(), "predict before fit");
+  if (!config_.probability) return predict_by_votes(x);
+  const auto proba = predict_proba(x);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
+                          proba.begin());
+}
+
 Prediction SvmClassifier::predict_with_probability(
     std::span<const double> x) const {
-  const int label = predict(x);
+  // One predict_proba call serves both the label and its probability:
+  // in probability mode these are the coupled probabilities, otherwise
+  // vote fractions whose argmax equals the hard-vote label (same
+  // lowest-index tie rule), so label and probability always agree.
   const auto proba = predict_proba(x);
-  return {label, proba[static_cast<std::size_t>(label)]};
+  const auto it = std::max_element(proba.begin(), proba.end());
+  return {static_cast<int>(it - proba.begin()), *it};
 }
 
 std::size_t SvmClassifier::total_support_vectors() const {

@@ -106,15 +106,29 @@ class SvmClassifier final : public Classifier {
   /// Without: normalized vote fractions (ablation arm).
   std::vector<double> predict_proba(std::span<const double> x) const override;
 
-  /// Vote-based prediction — LIBSVM's label rule, used *regardless* of
-  /// whether probabilities are fitted (e1071 behaves the same way: the
-  /// predicted class comes from the votes, the probabilities ride along).
-  /// On a pure-noise task the cross-validated Platt sigmoids can invert
-  /// relative to the memorizing decision values; tying the label to the
-  /// votes keeps train-set predictions consistent with the machines.
+  /// Predicted label.  In probability mode this is the argmax of the
+  /// pairwise-coupled probability vector, so the label always agrees
+  /// with `predict_proba` / `predict_with_probability` and a threshold
+  /// on the top-class probability gates the *reported* class (the
+  /// paper's Figures 1–4 workflow).  Without probability fitting the
+  /// label comes from hard one-vs-one votes, ties resolving to the
+  /// lowest class index.
+  ///
+  /// Note this deliberately differs from LIBSVM/e1071, which keep the
+  /// vote label even when probabilities are fitted and can therefore
+  /// report a label that disagrees with the probability argmax; that
+  /// inconsistency is exactly the bug the threshold workflow tripped
+  /// over.  The vote rule remains available via `predict_by_votes`.
   int predict(std::span<const double> x) const override;
 
-  /// Vote-based label + that label's coupled probability.
+  /// Hard one-vs-one vote label (LIBSVM's rule), independent of
+  /// probability fitting.  Ties resolve to the lowest class index.
+  int predict_by_votes(std::span<const double> x) const;
+
+  /// Label + probability; the label is the argmax of `predict_proba`
+  /// (coupled probabilities, or vote fractions without a Platt fit) and
+  /// the probability is that same class's entry, so the pair is always
+  /// self-consistent.
   Prediction predict_with_probability(
       std::span<const double> x) const override;
 

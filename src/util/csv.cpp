@@ -83,19 +83,38 @@ std::vector<std::string> parse_csv_line(const std::string& line) {
 CsvDocument parse_csv(std::istream& in) {
   CsvDocument doc;
   std::string line;
+  std::string record;
   bool have_header = false;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    auto fields = parse_csv_line(line);
+    if (record.empty()) {
+      if (line.empty()) continue;
+      record = std::move(line);
+    } else {
+      // Still inside a quoted field: the writer emitted an embedded
+      // newline, which getline consumed — restore it and keep reading.
+      record += '\n';
+      record += line;
+    }
+    // An odd number of quote characters means a quoted field is still
+    // open across the line break (RFC 4180 escapes quotes by doubling
+    // them, which keeps the per-record count even).
+    if (std::count(record.begin(), record.end(), '"') % 2 != 0) continue;
+    auto fields = parse_csv_line(record);
+    record.clear();
     if (!have_header) {
       doc.header = std::move(fields);
       have_header = true;
     } else {
       XDMODML_CHECK(fields.size() == doc.header.size(),
-                    "CSV row width does not match header");
+                    "CSV data row " + std::to_string(doc.rows.size() + 1) +
+                        " has " + std::to_string(fields.size()) +
+                        " fields; the header has " +
+                        std::to_string(doc.header.size()));
       doc.rows.push_back(std::move(fields));
     }
   }
+  XDMODML_CHECK(record.empty(),
+                "CSV input ends inside an unterminated quoted field");
   return doc;
 }
 

@@ -3,7 +3,9 @@
 // Benches and examples dump their series as CSV so that the paper's figures
 // can be re-plotted externally; the reader supports round-tripping those
 // files and loading user-provided job summaries.  Fields containing commas,
-// quotes or newlines are quoted per RFC 4180.
+// quotes or newlines are quoted per RFC 4180, and the parser reads quoted
+// embedded newlines back (a record may span physical lines), so everything
+// the writer emits round-trips.
 #pragma once
 
 #include <iosfwd>
@@ -36,10 +38,14 @@ class CsvWriter {
 /// Quotes a single field per RFC 4180 if needed.
 std::string csv_escape(const std::string& field);
 
-/// Parses a full CSV document (first row is the header).
+/// Parses a full CSV document (first row is the header).  Quoted fields
+/// may contain embedded newlines; rows whose width does not match the
+/// header are rejected with the offending row number in the message.
 CsvDocument parse_csv(std::istream& in);
 
-/// Parses one CSV line into fields (no embedded newlines).
+/// Parses one logical CSV record into fields.  Newlines inside quoted
+/// fields are kept verbatim (parse_csv assembles multi-line records
+/// before calling this).
 std::vector<std::string> parse_csv_line(const std::string& line);
 
 }  // namespace xdmodml

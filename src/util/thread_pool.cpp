@@ -6,6 +6,13 @@
 
 namespace xdmodml {
 
+namespace {
+// Which pool (if any) owns the current thread; set for the lifetime of
+// each worker.  Lets parallel_for detect nested dispatch from its own
+// workers and degrade to inline execution instead of deadlocking.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -27,7 +34,10 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::on_pool_thread() const { return t_current_pool == this; }
+
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -46,6 +56,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   XDMODML_CHECK(begin <= end, "parallel_for requires begin <= end");
   const std::size_t n = end - begin;
   if (n == 0) return;
+  if (on_pool_thread()) {
+    // Nested dispatch: queued chunks could only run on the *other*
+    // workers, so a busy pool (or a 1-thread pool) would deadlock on
+    // the futures below.  Run the body inline instead.
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
   const std::size_t chunks = std::min(n, size() * 4);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;

@@ -1,10 +1,18 @@
 // A small fixed-size thread pool with a blocking task queue and a
 // `parallel_for` helper.
 //
-// Random-forest training, one-vs-one SVM training and the workload
-// generator all fan out embarrassingly parallel work through this pool.
-// Determinism is preserved by assigning each work item its own RNG stream
-// *before* dispatch, so results are independent of scheduling order.
+// Random-forest training, one-vs-one SVM training, the workload
+// generator and the batched inference layer all fan out embarrassingly
+// parallel work through this pool.  Determinism is preserved by
+// assigning each work item its own RNG stream *before* dispatch, so
+// results are independent of scheduling order.
+//
+// `parallel_for` is safe to call from a pool worker: a nested call runs
+// its body inline instead of enqueuing, because queued chunks could only
+// be executed by the other workers — on a busy (or 1-thread) pool the
+// nested caller would block on futures nobody can run.  This lets the
+// batch-inference layer sit above classifiers that already parallelize
+// internally.
 #pragma once
 
 #include <condition_variable>
@@ -49,8 +57,13 @@ class ThreadPool {
   /// Runs `body(i)` for i in [begin, end), partitioned into contiguous
   /// chunks across the pool.  Blocks until all iterations complete; the
   /// first exception thrown by any chunk is rethrown on the caller.
+  /// When called from one of this pool's own workers the body runs
+  /// inline on the caller (see the nested-dispatch note above).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_pool_thread() const;
 
   /// Process-wide shared pool (lazily constructed, hardware-sized).
   static ThreadPool& global();

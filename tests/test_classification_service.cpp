@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "util/error.hpp"
 #include "workload/dataset_helpers.hpp"
 #include "workload/generator.hpp"
@@ -82,6 +85,102 @@ TEST_F(ServiceTest, ReportMentionsCounts) {
   const auto text = service.report();
   EXPECT_NE(text.find("1 jobs ingested"), std::string::npos);
   EXPECT_NE(text.find("1 identified"), std::string::npos);
+}
+
+TEST_F(ServiceTest, IngestBatchMatchesSerialIngest) {
+  // The batched path must be outcome-for-outcome identical to a serial
+  // ingest loop: same per-job results, same tallies, same warehouse.
+  auto mixed = gen_->generate_native(15);
+  for (auto& job : gen_->generate_na(25, /*community_fraction=*/1.0)) {
+    mixed.push_back(std::move(job));
+  }
+  for (auto& job : gen_->generate_uncategorized(10)) {
+    mixed.push_back(std::move(job));
+  }
+
+  ClassificationService serial(*clf_, 0.5);
+  ClassificationService batched(*clf_, 0.5);
+  std::vector<ClassificationService::IngestResult> serial_results;
+  std::vector<supremm::JobSummary> batch;
+  for (const auto& job : mixed) {
+    serial_results.push_back(serial.ingest(job.summary));
+    batch.push_back(job.summary);
+  }
+  const auto batch_results = batched.ingest_batch(std::move(batch));
+
+  ASSERT_EQ(batch_results.size(), serial_results.size());
+  for (std::size_t i = 0; i < serial_results.size(); ++i) {
+    EXPECT_EQ(batch_results[i].outcome, serial_results[i].outcome);
+    EXPECT_EQ(batch_results[i].prediction.class_name,
+              serial_results[i].prediction.class_name);
+    EXPECT_DOUBLE_EQ(batch_results[i].prediction.probability,
+                     serial_results[i].prediction.probability);
+  }
+  EXPECT_EQ(batched.stats().identified, serial.stats().identified);
+  EXPECT_EQ(batched.stats().attributed, serial.stats().attributed);
+  EXPECT_EQ(batched.stats().unresolved, serial.stats().unresolved);
+  EXPECT_EQ(batched.warehouse().size(), serial.warehouse().size());
+  EXPECT_EQ(batched.attributed_cpu_hours(), serial.attributed_cpu_hours());
+}
+
+TEST_F(ServiceTest, ConcurrentIngestKeepsExactTallies) {
+  // The header promises several threads may share one service: hammer a
+  // single instance from four threads and require *exact* tallies —
+  // with the old unguarded stats_ the increments raced and drifted.
+  ClassificationService service(*clf_, 0.5);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kJobsPerThread = 30;
+  std::vector<std::vector<workload::GeneratedJob>> work;
+  std::size_t expected_identified = 0;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    // Alternate pools so identified and classified paths interleave.
+    auto jobs = t % 2 == 0
+                    ? gen_->generate_native(kJobsPerThread)
+                    : gen_->generate_na(kJobsPerThread, 1.0);
+    for (const auto& job : jobs) {
+      if (job.summary.label_source == supremm::LabelSource::kIdentified) {
+        ++expected_identified;
+      }
+    }
+    work.push_back(std::move(jobs));
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &work, t] {
+      for (const auto& job : work[t]) service.ingest(job.summary);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.total(), kThreads * kJobsPerThread);
+  EXPECT_EQ(stats.identified, expected_identified);
+  EXPECT_EQ(service.warehouse().size(), kThreads * kJobsPerThread);
+}
+
+TEST_F(ServiceTest, ConcurrentIngestBatchKeepsExactTallies) {
+  // ingest_batch itself fans out on the shared pool; several threads
+  // calling it on one service must still produce exact totals.
+  ClassificationService service(*clf_, 0.5);
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kJobsPerThread = 40;
+  std::vector<std::vector<supremm::JobSummary>> batches;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    std::vector<supremm::JobSummary> batch;
+    for (const auto& job : gen_->generate_na(kJobsPerThread, 1.0)) {
+      batch.push_back(job.summary);
+    }
+    batches.push_back(std::move(batch));
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &batches, t] {
+      service.ingest_batch(std::move(batches[t]));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(service.stats().total(), kThreads * kJobsPerThread);
+  EXPECT_EQ(service.warehouse().size(), kThreads * kJobsPerThread);
 }
 
 TEST_F(ServiceTest, Validation) {

@@ -69,6 +69,52 @@ TEST(CsvParse, RejectsRaggedRows) {
   EXPECT_THROW(parse_csv(in), InvalidArgument);
 }
 
+TEST(CsvParse, RaggedRowMessageNamesRowAndWidths) {
+  std::istringstream in("a,b\n1,2\n1,2,3\n");
+  try {
+    parse_csv(in);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("row 2"), std::string::npos) << message;
+    EXPECT_NE(message.find("3 fields"), std::string::npos) << message;
+    EXPECT_NE(message.find("header has 2"), std::string::npos) << message;
+  }
+}
+
+TEST(CsvParse, QuotedNewlinesSpanPhysicalLines) {
+  std::istringstream in("name,note\njob1,\"line one\nline two\"\njob2,ok\n");
+  const auto doc = parse_csv(in);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][1], "line one\nline two");
+  EXPECT_EQ(doc.rows[1][1], "ok");
+}
+
+TEST(CsvParse, RejectsUnterminatedQuotedField) {
+  std::istringstream in("a,b\n1,\"never closed\n");
+  EXPECT_THROW(parse_csv(in), InvalidArgument);
+}
+
+TEST(CsvParse, WriterParserRoundTripWithNewlines) {
+  // The writer quotes embedded newlines per RFC 4180; the parser must
+  // read them back (this round trip used to fail: parse_csv read
+  // line-by-line and split the quoted field in two).
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row(std::vector<std::string>{"id", "note", "tag"});
+  w.write_row(std::vector<std::string>{"1", "first\nsecond\nthird", "x"});
+  w.write_row(std::vector<std::string>{"2", "crlf\r\nstyle", "says \"hi\""});
+  w.write_row(std::vector<std::string>{"3", "plain", ","});
+  std::istringstream in(os.str());
+  const auto doc = parse_csv(in);
+  EXPECT_EQ(doc.header, (std::vector<std::string>{"id", "note", "tag"}));
+  ASSERT_EQ(doc.rows.size(), 3u);
+  EXPECT_EQ(doc.rows[0][1], "first\nsecond\nthird");
+  EXPECT_EQ(doc.rows[1][1], "crlf\r\nstyle");
+  EXPECT_EQ(doc.rows[1][2], "says \"hi\"");
+  EXPECT_EQ(doc.rows[2][2], ",");
+}
+
 TEST(CsvParse, RoundTrip) {
   std::ostringstream os;
   CsvWriter w(os);

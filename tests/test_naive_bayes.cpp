@@ -146,5 +146,30 @@ TEST(NaiveBayes, RejectsBadInputs) {
   EXPECT_THROW(NaiveBayesClassifier(-1.0), InvalidArgument);
 }
 
+TEST(NaiveBayes, BatchPredictionsMatchSerial) {
+  Matrix X;
+  std::vector<int> y;
+  make_blobs(80, X, y);
+  NaiveBayesClassifier nb;
+  nb.fit(X, y, 2);
+  const auto labels = nb.predict_batch(X);
+  const auto probas = nb.predict_proba_batch(X);
+  const auto preds = nb.predict_batch_with_probability(X);
+  ASSERT_EQ(labels.size(), X.rows());
+  ASSERT_EQ(probas.size(), X.rows());
+  ASSERT_EQ(preds.size(), X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    EXPECT_EQ(labels[r], nb.predict(X.row(r)));
+    const auto serial = nb.predict_proba(X.row(r));
+    ASSERT_EQ(probas[r].size(), serial.size());
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+      EXPECT_DOUBLE_EQ(probas[r][c], serial[c]);
+    }
+    EXPECT_EQ(preds[r].label, labels[r]);
+    EXPECT_DOUBLE_EQ(preds[r].probability,
+                     serial[static_cast<std::size_t>(labels[r])]);
+  }
+}
+
 }  // namespace
 }  // namespace xdmodml::ml

@@ -218,5 +218,28 @@ TEST(RandomForest, RejectsBadInputs) {
   EXPECT_THROW(RandomForestClassifier{zero}, InvalidArgument);
 }
 
+TEST(RandomForest, BatchPredictionsMatchSerial) {
+  Matrix X;
+  std::vector<int> y;
+  make_problem(300, X, y);
+  RandomForestClassifier rf(small_forest(30));
+  rf.fit(X, y, 3);
+  const auto labels = rf.predict_batch(X);
+  const auto probas = rf.predict_proba_batch(X);
+  const auto preds = rf.predict_batch_with_probability(X);
+  ASSERT_EQ(labels.size(), X.rows());
+  ASSERT_EQ(probas.size(), X.rows());
+  ASSERT_EQ(preds.size(), X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    EXPECT_EQ(labels[r], rf.predict(X.row(r)));
+    const auto serial = rf.predict_proba(X.row(r));
+    ASSERT_EQ(probas[r].size(), serial.size());
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+      EXPECT_DOUBLE_EQ(probas[r][c], serial[c]);
+    }
+    EXPECT_EQ(preds[r].label, labels[r]);
+  }
+}
+
 }  // namespace
 }  // namespace xdmodml::ml

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "ml/dataset.hpp"
 #include "util/error.hpp"
@@ -248,12 +250,83 @@ TEST(SvmClassifier, RejectsBadInputs) {
   EXPECT_THROW(svm.fit(X, y, 3), InvalidArgument);
 }
 
-TEST(SvmClassifier, LabelStaysVoteBasedUnderNoiseLabels) {
-  // Regression test: on pure-noise labels the cross-validated Platt
-  // sigmoid inverts relative to the memorizing in-sample decision
-  // values; if the predicted label followed argmax-probability it would
-  // be wrong on ~every training point.  The label rule must stay
-  // vote-based (as in LIBSVM/e1071), with the probability riding along.
+// A hand-built 1-D linear binary machine (one support vector [1],
+// coef 1 unless overridden, rho 0) whose decision value at x is
+// `coef * x`.  `platt_a` sets the Platt sigmoid P(+1|f) = 1/(1+e^{af}):
+// a negative `a` is the normal orientation (positive f → high
+// probability), a positive `a` inverts the sigmoid against the votes.
+std::string crafted_machine(double platt_a, bool has_platt,
+                            double coef = 1.0) {
+  std::ostringstream os;
+  os << "binary-svm-v1\nkernel_type 0\ngamma 0\ndegree 1\ncoef0 0\n"
+     << "rho 0\nhas_platt " << (has_platt ? 1 : 0) << "\nplatt_a "
+     << platt_a << "\nplatt_b 0\nsvs 1\ndims 1\ncoef 1 " << coef
+     << "\nsv 1 1\n";
+  return os.str();
+}
+
+TEST(SvmClassifier, ProbabilityModeLabelMatchesCoupledArgmax) {
+  // Regression test for the label/probability disagreement: a crafted
+  // 3-class model where the hard one-vs-one votes and the coupled
+  // pairwise probabilities pick different classes.  At x = 1 every
+  // machine's decision value is +1, so the votes go 2:1:0 in favour of
+  // class 0 — but machine (0,1) carries an inverted Platt sigmoid
+  // (as the Lin–Weng CV fit produces on noisy data), so pairwise class 1
+  // beats class 0 with p ≈ 0.98 and the coupled argmax is class 1.
+  std::ostringstream os;
+  os << "svm-ovo-v1\nclasses 3\nprobability 1\nmachines 3\n"
+     << crafted_machine(4.0, true)     // (0,1): vote 0, P(0|{0,1}) ~ 0.02
+     << crafted_machine(-4.0, true)    // (0,2): vote 0, P(0|{0,2}) ~ 0.98
+     << crafted_machine(-4.0, true);   // (1,2): vote 1, P(1|{1,2}) ~ 0.98
+  std::istringstream in(os.str());
+  const auto svm = SvmClassifier::load(in);
+  const std::vector<double> x{1.0};
+
+  EXPECT_EQ(svm.predict_by_votes(x), 0);  // LIBSVM's vote rule says 0
+  const auto proba = svm.predict_proba(x);
+  ASSERT_EQ(proba.size(), 3u);
+  const int argmax = static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  EXPECT_EQ(argmax, 1);  // ...but the probability mass sits on class 1
+
+  // The old predict_with_probability returned {0, proba[0]} here —
+  // a vote label gated by the *wrong class's* probability.
+  const auto pred = svm.predict_with_probability(x);
+  EXPECT_EQ(pred.label, argmax);
+  EXPECT_DOUBLE_EQ(pred.probability, proba[static_cast<std::size_t>(argmax)]);
+  EXPECT_EQ(svm.predict(x), argmax);  // predict agrees in probability mode
+}
+
+TEST(SvmClassifier, VoteFractionTiesResolveToLowestClass) {
+  // Circular votes (0 beats 1, 1 beats 2, 2 beats 0) leave every class
+  // with exactly one vote; the tie must resolve deterministically to the
+  // lowest class index on both the vote path and the vote-fraction path.
+  std::ostringstream os;
+  os << "svm-ovo-v1\nclasses 3\nprobability 0\nmachines 3\n"
+     << crafted_machine(0.0, false)        // (0,1): f = +1 -> vote 0
+     << crafted_machine(0.0, false, -1.0)  // (0,2): f = -1 -> vote 2
+     << crafted_machine(0.0, false);       // (1,2): f = +1 -> vote 1
+  std::istringstream in(os.str());
+  const auto svm = SvmClassifier::load(in);
+  const std::vector<double> x{1.0};
+
+  const auto proba = svm.predict_proba(x);  // vote fractions
+  ASSERT_EQ(proba.size(), 3u);
+  for (const auto v : proba) EXPECT_DOUBLE_EQ(v, 1.0 / 3.0);
+  EXPECT_EQ(svm.predict_by_votes(x), 0);
+  EXPECT_EQ(svm.predict(x), 0);
+  const auto pred = svm.predict_with_probability(x);
+  EXPECT_EQ(pred.label, 0);
+  EXPECT_DOUBLE_EQ(pred.probability, 1.0 / 3.0);
+}
+
+TEST(SvmClassifier, SelfConsistentUnderNoiseLabels) {
+  // On pure-noise labels the cross-validated Platt sigmoids invert
+  // relative to the memorizing in-sample decision values, so the hard
+  // votes and the coupled probabilities genuinely disagree on many
+  // training points.  Whatever the votes say, the reported prediction
+  // must stay self-consistent: label == argmax of the probability
+  // vector, probability == that class's entry.
   Rng rng(71);
   Matrix X;
   std::vector<int> y;
@@ -266,15 +339,55 @@ TEST(SvmClassifier, LabelStaysVoteBasedUnderNoiseLabels) {
   cfg.kernel = Kernel::rbf(20.0);
   SvmClassifier svm(cfg);
   svm.fit(X, y, 2);
-  std::size_t correct = 0;
+  std::size_t vote_correct = 0;
+  std::size_t disagreements = 0;
   for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto proba = svm.predict_proba(X.row(r));
+    const int argmax = static_cast<int>(
+        std::max_element(proba.begin(), proba.end()) - proba.begin());
     const auto pred = svm.predict_with_probability(X.row(r));
-    EXPECT_EQ(pred.label, svm.predict(X.row(r)));  // label == vote rule
-    if (pred.label == y[r]) ++correct;
+    EXPECT_EQ(pred.label, argmax);
+    EXPECT_DOUBLE_EQ(pred.probability,
+                     proba[static_cast<std::size_t>(argmax)]);
+    EXPECT_EQ(svm.predict(X.row(r)), argmax);
+    if (svm.predict_by_votes(X.row(r)) != argmax) ++disagreements;
+    if (svm.predict_by_votes(X.row(r)) == y[r]) ++vote_correct;
   }
-  // The memorizing machine classifies its own training data.
-  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(X.rows()),
+  // The memorizing machines still classify their own training data via
+  // the vote rule...
+  EXPECT_GT(static_cast<double>(vote_correct) /
+                static_cast<double>(X.rows()),
             0.95);
+  // ...while the inverted sigmoids make votes and probabilities clash —
+  // the very disagreement the consistency fix is about.
+  EXPECT_GT(disagreements, 0u);
+}
+
+TEST(SvmClassifier, BatchPredictionsMatchSerial) {
+  Matrix X;
+  std::vector<int> y;
+  make_blobs(30, 3, X, y, 5.0);
+  auto cfg = fast_config();
+  cfg.probability = true;
+  SvmClassifier svm(cfg);
+  svm.fit(X, y, 3);
+  const auto labels = svm.predict_batch(X);
+  const auto probas = svm.predict_proba_batch(X);
+  const auto preds = svm.predict_batch_with_probability(X);
+  ASSERT_EQ(labels.size(), X.rows());
+  ASSERT_EQ(probas.size(), X.rows());
+  ASSERT_EQ(preds.size(), X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    EXPECT_EQ(labels[r], svm.predict(X.row(r)));
+    const auto serial = svm.predict_proba(X.row(r));
+    ASSERT_EQ(probas[r].size(), serial.size());
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+      EXPECT_DOUBLE_EQ(probas[r][c], serial[c]);
+    }
+    EXPECT_EQ(preds[r].label, labels[r]);
+    EXPECT_DOUBLE_EQ(preds[r].probability,
+                     serial[static_cast<std::size_t>(labels[r])]);
+  }
 }
 
 TEST(SvmClassifier, ClassWeightsShiftBoundaryTowardRareClass) {

@@ -73,6 +73,46 @@ TEST(ThreadPool, ParallelForRethrowsBodyException) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // Regression test: a worker calling parallel_for used to block on
+  // futures that only other workers could run — on a 1-thread pool the
+  // nested call deadlocked forever.  Nested dispatch must execute
+  // inline on the calling worker instead.
+  ThreadPool pool(1);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(0, 8, [&](std::size_t outer) {
+    EXPECT_TRUE(pool.on_pool_thread());
+    pool.parallel_for(0, 8, [&](std::size_t inner) {
+      hits[outer * 8 + inner] += 1;
+    });
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(0, 4,
+                        [&](std::size_t) {
+                          pool.parallel_for(0, 4, [](std::size_t i) {
+                            if (i == 2) throw std::runtime_error("nested");
+                          });
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, OnPoolThreadDistinguishesPools) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.on_pool_thread());  // caller is not a worker
+  auto fut = a.submit([&] {
+    // A worker of `a` is not a worker of `b`, so dispatching to `b`
+    // from inside `a` still fans out normally.
+    return a.on_pool_thread() && !b.on_pool_thread();
+  });
+  EXPECT_TRUE(fut.get());
+}
+
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
 }
