@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appkernel_regression.dir/bench_appkernel_regression.cpp.o"
+  "CMakeFiles/bench_appkernel_regression.dir/bench_appkernel_regression.cpp.o.d"
+  "bench_appkernel_regression"
+  "bench_appkernel_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appkernel_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_inference.dir/bench_batch_inference.cpp.o"
+  "CMakeFiles/bench_batch_inference.dir/bench_batch_inference.cpp.o.d"
+  "bench_batch_inference"
+  "bench_batch_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_category_classify.dir/bench_category_classify.cpp.o"
+  "CMakeFiles/bench_category_classify.dir/bench_category_classify.cpp.o.d"
+  "bench_category_classify"
+  "bench_category_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_category_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

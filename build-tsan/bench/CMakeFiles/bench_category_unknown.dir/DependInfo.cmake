@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_category_unknown.cpp" "bench/CMakeFiles/bench_category_unknown.dir/bench_category_unknown.cpp.o" "gcc" "bench/CMakeFiles/bench_category_unknown.dir/bench_category_unknown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/xdmod_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/xdmod_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xdmod/CMakeFiles/xdmod_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/taccstats/CMakeFiles/xdmod_taccstats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lariat/CMakeFiles/xdmod_lariat.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/supremm/CMakeFiles/xdmod_supremm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/xdmod_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/xdmod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_category_unknown.dir/bench_category_unknown.cpp.o"
+  "CMakeFiles/bench_category_unknown.dir/bench_category_unknown.cpp.o.d"
+  "bench_category_unknown"
+  "bench_category_unknown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_category_unknown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

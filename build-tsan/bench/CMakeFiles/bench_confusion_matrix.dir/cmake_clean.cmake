@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_confusion_matrix.dir/bench_confusion_matrix.cpp.o"
+  "CMakeFiles/bench_confusion_matrix.dir/bench_confusion_matrix.cpp.o.d"
+  "bench_confusion_matrix"
+  "bench_confusion_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_confusion_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cross_platform.dir/bench_cross_platform.cpp.o"
+  "CMakeFiles/bench_cross_platform.dir/bench_cross_platform.cpp.o.d"
+  "bench_cross_platform"
+  "bench_cross_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cross_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

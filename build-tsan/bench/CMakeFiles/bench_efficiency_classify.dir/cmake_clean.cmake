@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_efficiency_classify.dir/bench_efficiency_classify.cpp.o"
+  "CMakeFiles/bench_efficiency_classify.dir/bench_efficiency_classify.cpp.o.d"
+  "bench_efficiency_classify"
+  "bench_efficiency_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_efficiency_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

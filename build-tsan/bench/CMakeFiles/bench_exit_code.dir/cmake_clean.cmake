@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exit_code.dir/bench_exit_code.cpp.o"
+  "CMakeFiles/bench_exit_code.dir/bench_exit_code.cpp.o.d"
+  "bench_exit_code"
+  "bench_exit_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exit_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

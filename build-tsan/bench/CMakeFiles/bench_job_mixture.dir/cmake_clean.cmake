@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_job_mixture.dir/bench_job_mixture.cpp.o"
+  "CMakeFiles/bench_job_mixture.dir/bench_job_mixture.cpp.o.d"
+  "bench_job_mixture"
+  "bench_job_mixture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_job_mixture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_job_mixture.
+# This may be replaced when dependencies are built.

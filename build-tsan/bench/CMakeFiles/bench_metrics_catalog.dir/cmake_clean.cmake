@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metrics_catalog.dir/bench_metrics_catalog.cpp.o"
+  "CMakeFiles/bench_metrics_catalog.dir/bench_metrics_catalog.cpp.o.d"
+  "bench_metrics_catalog"
+  "bench_metrics_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metrics_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predictor_sweep.dir/bench_predictor_sweep.cpp.o"
+  "CMakeFiles/bench_predictor_sweep.dir/bench_predictor_sweep.cpp.o.d"
+  "bench_predictor_sweep"
+  "bench_predictor_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predictor_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roc_like.dir/bench_roc_like.cpp.o"
+  "CMakeFiles/bench_roc_like.dir/bench_roc_like.cpp.o.d"
+  "bench_roc_like"
+  "bench_roc_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roc_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_svm_tuning.dir/bench_svm_tuning.cpp.o"
+  "CMakeFiles/bench_svm_tuning.dir/bench_svm_tuning.cpp.o.d"
+  "bench_svm_tuning"
+  "bench_svm_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svm_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threshold_curves.dir/bench_threshold_curves.cpp.o"
+  "CMakeFiles/bench_threshold_curves.dir/bench_threshold_curves.cpp.o.d"
+  "bench_threshold_curves"
+  "bench_threshold_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threshold_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_time_features.dir/bench_time_features.cpp.o"
+  "CMakeFiles/bench_time_features.dir/bench_time_features.cpp.o.d"
+  "bench_time_features"
+  "bench_time_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_time_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unknown_pools.dir/bench_unknown_pools.cpp.o"
+  "CMakeFiles/bench_unknown_pools.dir/bench_unknown_pools.cpp.o.d"
+  "bench_unknown_pools"
+  "bench_unknown_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unknown_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

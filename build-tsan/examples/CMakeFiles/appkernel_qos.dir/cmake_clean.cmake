@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appkernel_qos.dir/appkernel_qos.cpp.o"
+  "CMakeFiles/appkernel_qos.dir/appkernel_qos.cpp.o.d"
+  "appkernel_qos"
+  "appkernel_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appkernel_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

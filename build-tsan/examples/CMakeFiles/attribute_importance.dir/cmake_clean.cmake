@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_importance.dir/attribute_importance.cpp.o"
+  "CMakeFiles/attribute_importance.dir/attribute_importance.cpp.o.d"
+  "attribute_importance"
+  "attribute_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

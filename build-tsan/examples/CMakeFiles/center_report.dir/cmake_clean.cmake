@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/center_report.dir/center_report.cpp.o"
+  "CMakeFiles/center_report.dir/center_report.cpp.o.d"
+  "center_report"
+  "center_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/center_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_unknown_jobs.dir/classify_unknown_jobs.cpp.o"
+  "CMakeFiles/classify_unknown_jobs.dir/classify_unknown_jobs.cpp.o.d"
+  "classify_unknown_jobs"
+  "classify_unknown_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_unknown_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

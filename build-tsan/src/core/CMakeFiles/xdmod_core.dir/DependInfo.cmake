@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classification_service.cpp" "src/core/CMakeFiles/xdmod_core.dir/classification_service.cpp.o" "gcc" "src/core/CMakeFiles/xdmod_core.dir/classification_service.cpp.o.d"
+  "/root/repo/src/core/importance.cpp" "src/core/CMakeFiles/xdmod_core.dir/importance.cpp.o" "gcc" "src/core/CMakeFiles/xdmod_core.dir/importance.cpp.o.d"
+  "/root/repo/src/core/job_classifier.cpp" "src/core/CMakeFiles/xdmod_core.dir/job_classifier.cpp.o" "gcc" "src/core/CMakeFiles/xdmod_core.dir/job_classifier.cpp.o.d"
+  "/root/repo/src/core/resource_predictor.cpp" "src/core/CMakeFiles/xdmod_core.dir/resource_predictor.cpp.o" "gcc" "src/core/CMakeFiles/xdmod_core.dir/resource_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/xdmod_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/xdmod_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/supremm/CMakeFiles/xdmod_supremm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xdmod/CMakeFiles/xdmod_warehouse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdmod_core.dir/classification_service.cpp.o"
+  "CMakeFiles/xdmod_core.dir/classification_service.cpp.o.d"
+  "CMakeFiles/xdmod_core.dir/importance.cpp.o"
+  "CMakeFiles/xdmod_core.dir/importance.cpp.o.d"
+  "CMakeFiles/xdmod_core.dir/job_classifier.cpp.o"
+  "CMakeFiles/xdmod_core.dir/job_classifier.cpp.o.d"
+  "CMakeFiles/xdmod_core.dir/resource_predictor.cpp.o"
+  "CMakeFiles/xdmod_core.dir/resource_predictor.cpp.o.d"
+  "libxdmod_core.a"
+  "libxdmod_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdmod_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdmod_lariat.dir/lariat.cpp.o"
+  "CMakeFiles/xdmod_lariat.dir/lariat.cpp.o.d"
+  "libxdmod_lariat.a"
+  "libxdmod_lariat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdmod_lariat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/feature_analysis.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/feature_analysis.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/feature_analysis.cpp.o.d"
+  "/root/repo/src/ml/kernel.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/kernel.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/kernel.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/model_io.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/model_io.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/model_io.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/smo.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/smo.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/smo.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/xdmod_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/xdmod_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/xdmod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

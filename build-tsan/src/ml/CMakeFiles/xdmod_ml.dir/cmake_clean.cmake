@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdmod_ml.dir/classifier.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/dataset.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/feature_analysis.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/feature_analysis.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/kernel.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/kernel.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/metrics.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/model_io.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/model_io.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/pca.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/smo.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/smo.cpp.o.d"
+  "CMakeFiles/xdmod_ml.dir/svm.cpp.o"
+  "CMakeFiles/xdmod_ml.dir/svm.cpp.o.d"
+  "libxdmod_ml.a"
+  "libxdmod_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdmod_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxdmod_ml.a"
+)

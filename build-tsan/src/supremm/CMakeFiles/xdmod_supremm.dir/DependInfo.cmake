@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/supremm/dataset_builder.cpp" "src/supremm/CMakeFiles/xdmod_supremm.dir/dataset_builder.cpp.o" "gcc" "src/supremm/CMakeFiles/xdmod_supremm.dir/dataset_builder.cpp.o.d"
+  "/root/repo/src/supremm/efficiency.cpp" "src/supremm/CMakeFiles/xdmod_supremm.dir/efficiency.cpp.o" "gcc" "src/supremm/CMakeFiles/xdmod_supremm.dir/efficiency.cpp.o.d"
+  "/root/repo/src/supremm/job_summary.cpp" "src/supremm/CMakeFiles/xdmod_supremm.dir/job_summary.cpp.o" "gcc" "src/supremm/CMakeFiles/xdmod_supremm.dir/job_summary.cpp.o.d"
+  "/root/repo/src/supremm/metrics.cpp" "src/supremm/CMakeFiles/xdmod_supremm.dir/metrics.cpp.o" "gcc" "src/supremm/CMakeFiles/xdmod_supremm.dir/metrics.cpp.o.d"
+  "/root/repo/src/supremm/summary_io.cpp" "src/supremm/CMakeFiles/xdmod_supremm.dir/summary_io.cpp.o" "gcc" "src/supremm/CMakeFiles/xdmod_supremm.dir/summary_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/xdmod_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/xdmod_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

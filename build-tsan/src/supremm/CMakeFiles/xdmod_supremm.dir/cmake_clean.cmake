@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdmod_supremm.dir/dataset_builder.cpp.o"
+  "CMakeFiles/xdmod_supremm.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/xdmod_supremm.dir/efficiency.cpp.o"
+  "CMakeFiles/xdmod_supremm.dir/efficiency.cpp.o.d"
+  "CMakeFiles/xdmod_supremm.dir/job_summary.cpp.o"
+  "CMakeFiles/xdmod_supremm.dir/job_summary.cpp.o.d"
+  "CMakeFiles/xdmod_supremm.dir/metrics.cpp.o"
+  "CMakeFiles/xdmod_supremm.dir/metrics.cpp.o.d"
+  "CMakeFiles/xdmod_supremm.dir/summary_io.cpp.o"
+  "CMakeFiles/xdmod_supremm.dir/summary_io.cpp.o.d"
+  "libxdmod_supremm.a"
+  "libxdmod_supremm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdmod_supremm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taccstats/aggregator.cpp" "src/taccstats/CMakeFiles/xdmod_taccstats.dir/aggregator.cpp.o" "gcc" "src/taccstats/CMakeFiles/xdmod_taccstats.dir/aggregator.cpp.o.d"
+  "/root/repo/src/taccstats/collector.cpp" "src/taccstats/CMakeFiles/xdmod_taccstats.dir/collector.cpp.o" "gcc" "src/taccstats/CMakeFiles/xdmod_taccstats.dir/collector.cpp.o.d"
+  "/root/repo/src/taccstats/counters.cpp" "src/taccstats/CMakeFiles/xdmod_taccstats.dir/counters.cpp.o" "gcc" "src/taccstats/CMakeFiles/xdmod_taccstats.dir/counters.cpp.o.d"
+  "/root/repo/src/taccstats/pcp_archive.cpp" "src/taccstats/CMakeFiles/xdmod_taccstats.dir/pcp_archive.cpp.o" "gcc" "src/taccstats/CMakeFiles/xdmod_taccstats.dir/pcp_archive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/xdmod_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/supremm/CMakeFiles/xdmod_supremm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/xdmod_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

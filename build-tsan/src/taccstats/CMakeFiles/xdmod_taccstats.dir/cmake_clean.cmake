@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdmod_taccstats.dir/aggregator.cpp.o"
+  "CMakeFiles/xdmod_taccstats.dir/aggregator.cpp.o.d"
+  "CMakeFiles/xdmod_taccstats.dir/collector.cpp.o"
+  "CMakeFiles/xdmod_taccstats.dir/collector.cpp.o.d"
+  "CMakeFiles/xdmod_taccstats.dir/counters.cpp.o"
+  "CMakeFiles/xdmod_taccstats.dir/counters.cpp.o.d"
+  "CMakeFiles/xdmod_taccstats.dir/pcp_archive.cpp.o"
+  "CMakeFiles/xdmod_taccstats.dir/pcp_archive.cpp.o.d"
+  "libxdmod_taccstats.a"
+  "libxdmod_taccstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdmod_taccstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdmod_util.dir/csv.cpp.o"
+  "CMakeFiles/xdmod_util.dir/csv.cpp.o.d"
+  "CMakeFiles/xdmod_util.dir/eigen.cpp.o"
+  "CMakeFiles/xdmod_util.dir/eigen.cpp.o.d"
+  "CMakeFiles/xdmod_util.dir/error.cpp.o"
+  "CMakeFiles/xdmod_util.dir/error.cpp.o.d"
+  "CMakeFiles/xdmod_util.dir/matrix.cpp.o"
+  "CMakeFiles/xdmod_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/xdmod_util.dir/rng.cpp.o"
+  "CMakeFiles/xdmod_util.dir/rng.cpp.o.d"
+  "CMakeFiles/xdmod_util.dir/stats.cpp.o"
+  "CMakeFiles/xdmod_util.dir/stats.cpp.o.d"
+  "CMakeFiles/xdmod_util.dir/string_util.cpp.o"
+  "CMakeFiles/xdmod_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/xdmod_util.dir/table.cpp.o"
+  "CMakeFiles/xdmod_util.dir/table.cpp.o.d"
+  "CMakeFiles/xdmod_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/xdmod_util.dir/thread_pool.cpp.o.d"
+  "libxdmod_util.a"
+  "libxdmod_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdmod_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset_helpers.cpp" "src/workload/CMakeFiles/xdmod_workload.dir/dataset_helpers.cpp.o" "gcc" "src/workload/CMakeFiles/xdmod_workload.dir/dataset_helpers.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/xdmod_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/xdmod_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/platform.cpp" "src/workload/CMakeFiles/xdmod_workload.dir/platform.cpp.o" "gcc" "src/workload/CMakeFiles/xdmod_workload.dir/platform.cpp.o.d"
+  "/root/repo/src/workload/signature.cpp" "src/workload/CMakeFiles/xdmod_workload.dir/signature.cpp.o" "gcc" "src/workload/CMakeFiles/xdmod_workload.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/xdmod_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/supremm/CMakeFiles/xdmod_supremm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/taccstats/CMakeFiles/xdmod_taccstats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lariat/CMakeFiles/xdmod_lariat.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/xdmod_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

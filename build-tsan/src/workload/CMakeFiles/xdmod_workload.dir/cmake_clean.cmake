@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdmod_workload.dir/dataset_helpers.cpp.o"
+  "CMakeFiles/xdmod_workload.dir/dataset_helpers.cpp.o.d"
+  "CMakeFiles/xdmod_workload.dir/generator.cpp.o"
+  "CMakeFiles/xdmod_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/xdmod_workload.dir/platform.cpp.o"
+  "CMakeFiles/xdmod_workload.dir/platform.cpp.o.d"
+  "CMakeFiles/xdmod_workload.dir/signature.cpp.o"
+  "CMakeFiles/xdmod_workload.dir/signature.cpp.o.d"
+  "libxdmod_workload.a"
+  "libxdmod_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdmod_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

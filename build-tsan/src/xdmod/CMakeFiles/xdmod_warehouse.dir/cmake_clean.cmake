@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdmod_warehouse.dir/appkernel.cpp.o"
+  "CMakeFiles/xdmod_warehouse.dir/appkernel.cpp.o.d"
+  "CMakeFiles/xdmod_warehouse.dir/warehouse.cpp.o"
+  "CMakeFiles/xdmod_warehouse.dir/warehouse.cpp.o.d"
+  "libxdmod_warehouse.a"
+  "libxdmod_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdmod_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

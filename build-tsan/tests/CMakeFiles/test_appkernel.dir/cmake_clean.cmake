@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appkernel.dir/test_appkernel.cpp.o"
+  "CMakeFiles/test_appkernel.dir/test_appkernel.cpp.o.d"
+  "test_appkernel"
+  "test_appkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

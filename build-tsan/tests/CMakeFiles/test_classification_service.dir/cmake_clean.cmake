@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classification_service.dir/test_classification_service.cpp.o"
+  "CMakeFiles/test_classification_service.dir/test_classification_service.cpp.o.d"
+  "test_classification_service"
+  "test_classification_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classification_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_classifier.dir/test_job_classifier.cpp.o"
+  "CMakeFiles/test_job_classifier.dir/test_job_classifier.cpp.o.d"
+  "test_job_classifier"
+  "test_job_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

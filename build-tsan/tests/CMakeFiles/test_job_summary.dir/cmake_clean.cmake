@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_summary.dir/test_job_summary.cpp.o"
+  "CMakeFiles/test_job_summary.dir/test_job_summary.cpp.o.d"
+  "test_job_summary"
+  "test_job_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

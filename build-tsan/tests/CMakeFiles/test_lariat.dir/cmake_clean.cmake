@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lariat.dir/test_lariat.cpp.o"
+  "CMakeFiles/test_lariat.dir/test_lariat.cpp.o.d"
+  "test_lariat"
+  "test_lariat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lariat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

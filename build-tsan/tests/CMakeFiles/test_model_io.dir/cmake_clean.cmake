@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_io.dir/test_model_io.cpp.o"
+  "CMakeFiles/test_model_io.dir/test_model_io.cpp.o.d"
+  "test_model_io"
+  "test_model_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

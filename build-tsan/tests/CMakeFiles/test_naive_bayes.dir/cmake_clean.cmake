@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_naive_bayes.dir/test_naive_bayes.cpp.o"
+  "CMakeFiles/test_naive_bayes.dir/test_naive_bayes.cpp.o.d"
+  "test_naive_bayes"
+  "test_naive_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_naive_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pca_kmeans.dir/test_pca_kmeans.cpp.o"
+  "CMakeFiles/test_pca_kmeans.dir/test_pca_kmeans.cpp.o.d"
+  "test_pca_kmeans"
+  "test_pca_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pca_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcp_archive.dir/test_pcp_archive.cpp.o"
+  "CMakeFiles/test_pcp_archive.dir/test_pcp_archive.cpp.o.d"
+  "test_pcp_archive"
+  "test_pcp_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcp_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_ml.dir/test_properties_ml.cpp.o"
+  "CMakeFiles/test_properties_ml.dir/test_properties_ml.cpp.o.d"
+  "test_properties_ml"
+  "test_properties_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

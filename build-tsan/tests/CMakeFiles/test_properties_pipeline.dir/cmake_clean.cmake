@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_pipeline.dir/test_properties_pipeline.cpp.o"
+  "CMakeFiles/test_properties_pipeline.dir/test_properties_pipeline.cpp.o.d"
+  "test_properties_pipeline"
+  "test_properties_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

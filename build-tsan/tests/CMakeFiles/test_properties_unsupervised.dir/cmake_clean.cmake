@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_unsupervised.dir/test_properties_unsupervised.cpp.o"
+  "CMakeFiles/test_properties_unsupervised.dir/test_properties_unsupervised.cpp.o.d"
+  "test_properties_unsupervised"
+  "test_properties_unsupervised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_unsupervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_forest.dir/test_random_forest.cpp.o"
+  "CMakeFiles/test_random_forest.dir/test_random_forest.cpp.o.d"
+  "test_random_forest"
+  "test_random_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

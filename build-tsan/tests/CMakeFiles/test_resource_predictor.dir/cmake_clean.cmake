@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource_predictor.dir/test_resource_predictor.cpp.o"
+  "CMakeFiles/test_resource_predictor.dir/test_resource_predictor.cpp.o.d"
+  "test_resource_predictor"
+  "test_resource_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

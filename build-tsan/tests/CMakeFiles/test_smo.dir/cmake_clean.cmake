@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smo.dir/test_smo.cpp.o"
+  "CMakeFiles/test_smo.dir/test_smo.cpp.o.d"
+  "test_smo"
+  "test_smo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

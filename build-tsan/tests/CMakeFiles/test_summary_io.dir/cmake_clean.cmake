@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summary_io.dir/test_summary_io.cpp.o"
+  "CMakeFiles/test_summary_io.dir/test_summary_io.cpp.o.d"
+  "test_summary_io"
+  "test_summary_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summary_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

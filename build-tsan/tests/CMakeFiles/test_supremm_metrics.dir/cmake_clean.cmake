@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_supremm_metrics.dir/test_supremm_metrics.cpp.o"
+  "CMakeFiles/test_supremm_metrics.dir/test_supremm_metrics.cpp.o.d"
+  "test_supremm_metrics"
+  "test_supremm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_supremm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svm.dir/test_svm.cpp.o"
+  "CMakeFiles/test_svm.dir/test_svm.cpp.o.d"
+  "test_svm"
+  "test_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taccstats.dir/test_taccstats.cpp.o"
+  "CMakeFiles/test_taccstats.dir/test_taccstats.cpp.o.d"
+  "test_taccstats"
+  "test_taccstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taccstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

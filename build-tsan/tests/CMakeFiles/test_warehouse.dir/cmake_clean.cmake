@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warehouse.dir/test_warehouse.cpp.o"
+  "CMakeFiles/test_warehouse.dir/test_warehouse.cpp.o.d"
+  "test_warehouse"
+  "test_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
