@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,86 @@
 #include "workload/generator.hpp"
 
 namespace xdmodml::bench {
+
+/// Machine-readable timing emitter.  Benches call `record()` for each
+/// measured operation; when a path was supplied via `--json=<path>` (any
+/// argv position) or the XDMODML_BENCH_JSON environment variable, the
+/// collected records are written on destruction (or an explicit
+/// `write()`) as a JSON array of
+///   {"bench": ..., "op": ..., "wall_ms": ..., "n_jobs": ..., "threads": ...}
+/// so the perf trajectory of every PR can be recorded and diffed.
+class BenchJsonRecorder {
+ public:
+  static BenchJsonRecorder& instance() {
+    static BenchJsonRecorder recorder;
+    return recorder;
+  }
+
+  /// Scans argv for --json=<path>; falls back to XDMODML_BENCH_JSON.
+  void parse_args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) path_ = arg.substr(7);
+    }
+    if (path_.empty()) {
+      if (const char* env = std::getenv("XDMODML_BENCH_JSON")) path_ = env;
+    }
+  }
+
+  void set_path(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  void record(const std::string& bench, const std::string& op,
+              double wall_ms, std::size_t n_jobs, std::size_t threads) {
+    records_.push_back({bench, op, wall_ms, n_jobs, threads});
+  }
+
+  /// Writes and clears the collected records; no-op without a path.
+  void write() {
+    if (path_.empty() || records_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write JSON to %s\n", path_.c_str());
+      return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const auto& r = records_[i];
+      out << "  {\"bench\": \"" << escape(r.bench) << "\", \"op\": \""
+          << escape(r.op) << "\", \"wall_ms\": " << r.wall_ms
+          << ", \"n_jobs\": " << r.n_jobs << ", \"threads\": " << r.threads
+          << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::printf("\nwrote %zu timing records to %s\n", records_.size(),
+                path_.c_str());
+    records_.clear();
+  }
+
+  ~BenchJsonRecorder() { write(); }
+
+ private:
+  struct Record {
+    std::string bench;
+    std::string op;
+    double wall_ms;
+    std::size_t n_jobs;
+    std::size_t threads;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Record> records_;
+};
 
 /// Scale multiplier from the environment (default 1.0).
 inline double scale_factor() {

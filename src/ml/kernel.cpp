@@ -1,10 +1,25 @@
 #include "ml/kernel.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace xdmodml::ml {
+
+namespace {
+
+// Below this many multiply-adds a row is filled inline; above it the
+// sweep is fanned out across the thread pool.  ~32k flops is roughly
+// where chunk dispatch overhead drops below 10% on a 2-core box.
+constexpr std::size_t kParallelFlopThreshold = 32 * 1024;
+
+// Degrees up to this bound with integral values use exponentiation by
+// squaring instead of std::pow.
+constexpr double kMaxIntegralDegree = 64.0;
+
+}  // namespace
 
 double squared_distance(std::span<const double> a,
                         std::span<const double> b) {
@@ -24,6 +39,17 @@ double dot(std::span<const double> a, std::span<const double> b) {
   return s;
 }
 
+double powi(double base, std::uint64_t exp) {
+  double result = 1.0;
+  double term = base;
+  while (exp > 0) {
+    if (exp & 1u) result *= term;
+    term *= term;
+    exp >>= 1u;
+  }
+  return result;
+}
+
 double Kernel::operator()(std::span<const double> a,
                           std::span<const double> b) const {
   switch (type) {
@@ -31,8 +57,16 @@ double Kernel::operator()(std::span<const double> a,
       return dot(a, b);
     case Type::kRbf:
       return std::exp(-gamma * squared_distance(a, b));
-    case Type::kPolynomial:
-      return std::pow(gamma * dot(a, b) + coef0, degree);
+    case Type::kPolynomial: {
+      const double base = gamma * dot(a, b) + coef0;
+      // Keep the scalar path bit-identical with the row path so the
+      // Gram-row engine reproduces operator() exactly.
+      if (degree > 0.0 && degree <= kMaxIntegralDegree &&
+          degree == std::floor(degree)) {
+        return powi(base, static_cast<std::uint64_t>(degree));
+      }
+      return std::pow(base, degree);
+    }
   }
   return 0.0;  // unreachable
 }
@@ -60,6 +94,114 @@ std::string Kernel::name() const {
       return "polynomial";
   }
   return "?";
+}
+
+GramRowEngine::GramRowEngine(const Matrix& X, Kernel kernel)
+    : X_(&X), kernel_(kernel) {
+  XDMODML_CHECK(!X.empty(), "GramRowEngine requires a non-empty matrix");
+  sq_norms_ = X.row_squared_norms();
+  if (kernel_.type == Kernel::Type::kPolynomial &&
+      kernel_.degree > 0.0 && kernel_.degree <= kMaxIntegralDegree &&
+      kernel_.degree == std::floor(kernel_.degree)) {
+    integral_degree_ = true;
+    degree_int_ = static_cast<std::uint64_t>(kernel_.degree);
+  }
+}
+
+void GramRowEngine::fill_range(std::span<const double> x, double x_sq_norm,
+                               std::size_t lo, std::size_t hi,
+                               double* out) const {
+  const std::size_t d = X_->cols();
+  const double* base = X_->data().data();
+
+  // Blocked dot-product sweep: each row is a contiguous d-length run, so
+  // the inner loop is a straight multiply-add chain the compiler can
+  // vectorize.  The kernel transform runs as a second pass over the
+  // block, keeping both loops branch-free.
+  constexpr std::size_t kBlock = 256;
+  for (std::size_t blk = lo; blk < hi; blk += kBlock) {
+    const std::size_t blk_end = std::min(hi, blk + kBlock);
+    for (std::size_t j = blk; j < blk_end; ++j) {
+      const double* xj = base + j * d;
+      double s = 0.0;
+      for (std::size_t c = 0; c < d; ++c) s += x[c] * xj[c];
+      out[j] = s;
+    }
+    switch (kernel_.type) {
+      case Kernel::Type::kLinear:
+        break;
+      case Kernel::Type::kRbf: {
+        const double g = kernel_.gamma;
+        for (std::size_t j = blk; j < blk_end; ++j) {
+          // ‖x − xⱼ‖² = ‖x‖² + ‖xⱼ‖² − 2 x·xⱼ; round-off can push the
+          // expansion a hair negative for near-identical rows.
+          const double d2 =
+              std::max(0.0, x_sq_norm + sq_norms_[j] - 2.0 * out[j]);
+          out[j] = std::exp(-g * d2);
+        }
+        break;
+      }
+      case Kernel::Type::kPolynomial: {
+        const double g = kernel_.gamma;
+        const double c0 = kernel_.coef0;
+        if (integral_degree_) {
+          for (std::size_t j = blk; j < blk_end; ++j) {
+            out[j] = powi(g * out[j] + c0, degree_int_);
+          }
+        } else {
+          for (std::size_t j = blk; j < blk_end; ++j) {
+            out[j] = std::pow(g * out[j] + c0, kernel_.degree);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+double GramRowEngine::diagonal(std::size_t i) const {
+  XDMODML_CHECK(i < X_->rows(), "GramRowEngine row index out of range");
+  switch (kernel_.type) {
+    case Kernel::Type::kLinear:
+      return sq_norms_[i];
+    case Kernel::Type::kRbf:
+      return 1.0;
+    case Kernel::Type::kPolynomial: {
+      const double base = kernel_.gamma * sq_norms_[i] + kernel_.coef0;
+      return integral_degree_ ? powi(base, degree_int_)
+                              : std::pow(base, kernel_.degree);
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+void GramRowEngine::fill_row(std::size_t i, std::span<double> out) const {
+  XDMODML_CHECK(i < X_->rows(), "GramRowEngine row index out of range");
+  fill_row_for(X_->row(i), out);
+}
+
+void GramRowEngine::fill_row_for(std::span<const double> x,
+                                 std::span<double> out) const {
+  const std::size_t n = X_->rows();
+  XDMODML_CHECK(x.size() == X_->cols(),
+                "GramRowEngine probe width mismatch");
+  XDMODML_CHECK(out.size() >= n, "GramRowEngine output row too short");
+  double x_sq = 0.0;
+  if (kernel_.type == Kernel::Type::kRbf) {
+    for (const double v : x) x_sq += v * v;
+  }
+  const std::size_t d = std::max<std::size_t>(1, X_->cols());
+  // A single-worker pool would only add submit/wait overhead on top of
+  // the same serial sweep.
+  if (n * d < kParallelFlopThreshold || ThreadPool::global().size() <= 1) {
+    fill_range(x, x_sq, 0, n, out.data());
+    return;
+  }
+  const std::size_t grain = std::max<std::size_t>(1, kParallelFlopThreshold / d);
+  ThreadPool::global().parallel_for_ranges(
+      0, n, grain, [&](std::size_t lo, std::size_t hi) {
+        fill_range(x, x_sq, lo, hi, out.data());
+      });
 }
 
 }  // namespace xdmodml::ml

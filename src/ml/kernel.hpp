@@ -3,10 +3,23 @@
 // The paper uses the radial basis kernel with γ = 0.1 and C = 1000 (the
 // e1071 defaults it quotes); linear and polynomial kernels are provided
 // for completeness and for the test suite's sanity checks.
+//
+// Two evaluation paths exist:
+//  * `Kernel::operator()` — scalar k(a, b), used at prediction time and
+//    as the reference implementation in tests;
+//  * `GramRowEngine` — the training-time path.  It precomputes per-row
+//    squared norms once per fit and emits whole kernel rows as a single
+//    blocked matrix–vector sweep over the contiguous Matrix storage,
+//    K[i][j] = exp(−γ(‖xᵢ‖² + ‖xⱼ‖² − 2·xᵢ·xⱼ)) for RBF, fanned out
+//    across the thread pool when the row is long enough.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
 
 namespace xdmodml::ml {
 
@@ -35,5 +48,51 @@ double squared_distance(std::span<const double> a, std::span<const double> b);
 
 /// Dot product.
 double dot(std::span<const double> a, std::span<const double> b);
+
+/// base^exp by squaring — the polynomial row path hoists the common
+/// integer-degree case out of per-element std::pow.  Exposed for tests.
+double powi(double base, std::uint64_t exp);
+
+/// Vectorized kernel-row generator over the rows of a fixed matrix.
+///
+/// Construction runs one pass to cache ‖xᵢ‖² for every row; `fill_row`
+/// then computes a full kernel row with one blocked dot-product sweep
+/// (contiguous row-major reads, auto-vectorizable inner loop) instead of
+/// n scalar `Kernel::operator()` calls that each re-derive both norms.
+/// Rows longer than a work threshold are filled in parallel via
+/// `ThreadPool::global().parallel_for_ranges`; the engine itself is
+/// immutable after construction and safe to share across threads.
+class GramRowEngine {
+ public:
+  GramRowEngine(const Matrix& X, Kernel kernel);
+
+  /// out[j] = k(x_i, x_j) for j in [0, rows()); out.size() must be >= rows().
+  void fill_row(std::size_t i, std::span<double> out) const;
+
+  /// Same sweep for an arbitrary probe vector x (‖x‖² derived once):
+  /// out[j] = k(x, x_j).  x.size() must equal cols().
+  void fill_row_for(std::span<const double> x, std::span<double> out) const;
+
+  /// k(x_i, x_i) in O(1) from the cached norms (RBF diagonal is exactly 1).
+  double diagonal(std::size_t i) const;
+
+  std::size_t rows() const { return X_->rows(); }
+  const Kernel& kernel() const { return kernel_; }
+
+  /// Cached per-row squared norms (exposed for tests and reuse).
+  std::span<const double> squared_norms() const { return sq_norms_; }
+
+ private:
+  /// Dot-product sweep out[j] = x · row_j over rows [lo, hi), then the
+  /// kernel transform in place.  `x_sq_norm` is ‖x‖² (RBF only).
+  void fill_range(std::span<const double> x, double x_sq_norm,
+                  std::size_t lo, std::size_t hi, double* out) const;
+
+  const Matrix* X_;               // not owned; must outlive the engine
+  Kernel kernel_;
+  std::vector<double> sq_norms_;  // ‖xᵢ‖², cached once per fit
+  bool integral_degree_ = false;  // polynomial degree is a small integer
+  std::uint64_t degree_int_ = 0;
+};
 
 }  // namespace xdmodml::ml

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "util/error.hpp"
 
@@ -38,6 +39,58 @@ std::span<const double> KernelRowCache::row(std::size_t i) {
   return pos->second.data;
 }
 
+SharedGramCache::SharedGramCache(const Matrix& X, Kernel kernel,
+                                 std::size_t capacity)
+    : engine_(X, kernel), capacity_(std::max<std::size_t>(2, capacity)) {
+  diag_.resize(X.rows());
+  for (std::size_t i = 0; i < X.rows(); ++i) diag_[i] = engine_.diagonal(i);
+}
+
+SharedGramCache::RowPtr SharedGramCache::row(std::size_t i) {
+  XDMODML_CHECK(i < engine_.rows(), "shared kernel row index out of range");
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = rows_.find(i);
+    if (it != rows_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.data;
+    }
+    ++misses_;
+  }
+  // Compute outside the lock so concurrent misses on different rows fill
+  // in parallel; a race on the *same* row does redundant work but the
+  // first insert wins and both callers see a valid row.
+  auto fresh = std::make_shared<std::vector<double>>(engine_.rows());
+  engine_.fill_row(i, *fresh);
+  std::lock_guard lock(mutex_);
+  const auto it = rows_.find(i);
+  if (it != rows_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.data;
+  }
+  if (rows_.size() >= capacity_) {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    rows_.erase(victim);
+  }
+  lru_.push_front(i);
+  auto [pos, inserted] =
+      rows_.emplace(i, Entry{RowPtr(std::move(fresh)), lru_.begin()});
+  (void)inserted;
+  return pos->second.data;
+}
+
+std::size_t SharedGramCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::size_t SharedGramCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
 SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
   const std::size_t n = problem.n;
   XDMODML_CHECK(n > 0, "SMO requires at least one variable");
@@ -55,8 +108,14 @@ SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
 
   // Kernel diagonal (needed by second-order selection every iteration).
   std::vector<double> k_diag(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    k_diag[i] = cache.row(i)[i];
+  if (problem.kernel_diag) {
+    for (std::size_t i = 0; i < n; ++i) k_diag[i] = problem.kernel_diag(i);
+  } else {
+    // Legacy path: materialise each row once through the cache; when the
+    // capacity covers n this doubles as a warm start for the solver.
+    for (std::size_t i = 0; i < n; ++i) {
+      k_diag[i] = cache.row(i)[i];
+    }
   }
 
   SmoResult result;
@@ -69,13 +128,53 @@ SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
   const auto is_upper = [&](std::size_t t) { return alpha[t] >= c[t]; };
   const auto is_lower = [&](std::size_t t) { return alpha[t] <= 0.0; };
 
-  std::size_t iter = 0;
-  for (; iter < config.max_iterations; ++iter) {
-    // Working-set selection: i by first-order max violation, j by the
-    // second-order rule (LIBSVM WSS2).
-    double g_max = -std::numeric_limits<double>::infinity();
-    std::ptrdiff_t i = -1;
+  // --- Shrinking state -----------------------------------------------
+  // `active` lists the variables the working-set search and gradient
+  // maintenance still touch; entries of `grad` outside it go stale and
+  // are rebuilt by reconstruct_gradient.  grad_bar[t] accumulates
+  // Σ_{s at upper bound} C_s y_t y_s K_ts so the rebuild is exact.
+  const bool shrinking = config.shrinking && n > 2;
+  const std::size_t shrink_interval =
+      config.shrink_interval > 0 ? config.shrink_interval
+                                 : std::min<std::size_t>(n, 1000);
+  std::vector<std::size_t> active(n);
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<char> active_mask(n, 1);
+  std::vector<double> grad_bar;
+  if (shrinking) grad_bar.assign(n, 0.0);
+  bool unshrunk = false;
+
+  const auto restore_active = [&]() {
+    active.resize(n);
+    std::iota(active.begin(), active.end(), 0);
+    std::fill(active_mask.begin(), active_mask.end(), 1);
+  };
+
+  // Rebuilds grad for inactive variables: grad_bar covers the
+  // upper-bound variables, free variables (never shrunk) contribute
+  // directly, zero variables contribute nothing.
+  const auto reconstruct_gradient = [&]() {
+    if (active.size() == n) return;
     for (std::size_t t = 0; t < n; ++t) {
+      if (!active_mask[t]) grad[t] = grad_bar[t] + problem.p[t];
+    }
+    for (const std::size_t s : active) {
+      if (is_lower(s) || is_upper(s)) continue;  // only free α contribute
+      const auto row_s = cache.row(s);
+      const double as = alpha[s] * static_cast<double>(y[s]);
+      for (std::size_t t = 0; t < n; ++t) {
+        if (!active_mask[t]) {
+          grad[t] += as * static_cast<double>(y[t]) * row_s[t];
+        }
+      }
+    }
+  };
+
+  // First-order max violation over I_up restricted to the active set.
+  const auto select_i = [&](double& g_max) -> std::ptrdiff_t {
+    g_max = -std::numeric_limits<double>::infinity();
+    std::ptrdiff_t i = -1;
+    for (const std::size_t t : active) {
       const bool in_up = (y[t] > 0 && !is_upper(t)) ||
                          (y[t] < 0 && !is_lower(t));
       if (!in_up) continue;
@@ -85,17 +184,17 @@ SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
         i = static_cast<std::ptrdiff_t>(t);
       }
     }
-    if (i < 0) {  // nothing movable upward: optimal
-      result.converged = true;
-      break;
-    }
-    const auto ui = static_cast<std::size_t>(i);
-    const auto row_i = cache.row(ui);
+    return i;
+  };
 
-    double g_min = std::numeric_limits<double>::infinity();
+  // Second-order (WSS2) partner for i over I_low in the active set.
+  const auto select_j = [&](std::size_t ui, double g_max,
+                            std::span<const double> row_i,
+                            double& g_min) -> std::ptrdiff_t {
+    g_min = std::numeric_limits<double>::infinity();
     double best_obj = std::numeric_limits<double>::infinity();
     std::ptrdiff_t j = -1;
-    for (std::size_t t = 0; t < n; ++t) {
+    for (const std::size_t t : active) {
       const bool in_low = (y[t] > 0 && !is_lower(t)) ||
                           (y[t] < 0 && !is_upper(t));
       if (!in_low) continue;
@@ -113,16 +212,112 @@ SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
         j = static_cast<std::ptrdiff_t>(t);
       }
     }
-    if (j < 0 || g_max - g_min < config.tolerance) {
-      result.converged = (j < 0) || (g_max - g_min < config.tolerance);
-      break;
+    return j;
+  };
+
+  // LIBSVM do_shrinking: compute the violation window (m, M) over the
+  // active set, unshrink once when it first closes to within 10·tol,
+  // then drop bound-clamped variables lying strictly outside it.
+  const auto do_shrinking = [&]() {
+    double g_max1 = -std::numeric_limits<double>::infinity();  // max -yG, I_up
+    double g_max2 = -std::numeric_limits<double>::infinity();  // max  yG, I_low
+    for (const std::size_t t : active) {
+      const double g = grad[t];
+      if (y[t] > 0) {
+        if (!is_upper(t)) g_max1 = std::max(g_max1, -g);
+        if (!is_lower(t)) g_max2 = std::max(g_max2, g);
+      } else {
+        if (!is_upper(t)) g_max2 = std::max(g_max2, -g);
+        if (!is_lower(t)) g_max1 = std::max(g_max1, g);
+      }
     }
+    if (!unshrunk && g_max1 + g_max2 <= config.tolerance * 10.0) {
+      unshrunk = true;
+      reconstruct_gradient();
+      restore_active();
+      // Recompute the window on the now-exact full gradient before
+      // shrinking against it.
+      g_max1 = -std::numeric_limits<double>::infinity();
+      g_max2 = -std::numeric_limits<double>::infinity();
+      for (const std::size_t t : active) {
+        const double g = grad[t];
+        if (y[t] > 0) {
+          if (!is_upper(t)) g_max1 = std::max(g_max1, -g);
+          if (!is_lower(t)) g_max2 = std::max(g_max2, g);
+        } else {
+          if (!is_upper(t)) g_max2 = std::max(g_max2, -g);
+          if (!is_lower(t)) g_max1 = std::max(g_max1, g);
+        }
+      }
+    }
+    const auto be_shrunk = [&](std::size_t t) {
+      if (is_upper(t)) {
+        return y[t] > 0 ? -grad[t] > g_max1 : -grad[t] > g_max2;
+      }
+      if (is_lower(t)) {
+        return y[t] > 0 ? grad[t] > g_max2 : grad[t] > g_max1;
+      }
+      return false;  // free variables always stay active
+    };
+    for (std::size_t idx = 0; idx < active.size();) {
+      const std::size_t t = active[idx];
+      if (be_shrunk(t)) {
+        active_mask[t] = 0;
+        active[idx] = active.back();
+        active.pop_back();
+      } else {
+        ++idx;
+      }
+    }
+  };
+
+  std::size_t since_shrink = 0;
+  std::size_t iter = 0;
+  for (; iter < config.max_iterations; ++iter) {
+    if (shrinking && ++since_shrink >= shrink_interval) {
+      since_shrink = 0;
+      do_shrinking();
+    }
+
+    double g_max = 0.0;
+    std::ptrdiff_t i = select_i(g_max);
+    std::span<const double> row_i;
+    double g_min = 0.0;
+    std::ptrdiff_t j = -1;
+    if (i >= 0) {
+      row_i = cache.row(static_cast<std::size_t>(i));
+      j = select_j(static_cast<std::size_t>(i), g_max, row_i, g_min);
+    }
+    if (i < 0 || j < 0 || g_max - g_min < config.tolerance) {
+      // Optimal on the active set.  If anything is shrunk, rebuild the
+      // full gradient and re-check on all n variables before declaring
+      // convergence (LIBSVM's final unshrink pass).
+      if (active.size() < n) {
+        reconstruct_gradient();
+        restore_active();
+        since_shrink = 0;
+        i = select_i(g_max);
+        if (i >= 0) {
+          row_i = cache.row(static_cast<std::size_t>(i));
+          j = select_j(static_cast<std::size_t>(i), g_max, row_i, g_min);
+        } else {
+          j = -1;
+        }
+      }
+      if (i < 0 || j < 0 || g_max - g_min < config.tolerance) {
+        result.converged = true;
+        break;
+      }
+    }
+    const auto ui = static_cast<std::size_t>(i);
     const auto uj = static_cast<std::size_t>(j);
     const auto row_j = cache.row(uj);
 
     // Two-variable analytic update (LIBSVM's update rules).
     const double old_ai = alpha[ui];
     const double old_aj = alpha[uj];
+    const bool was_upper_i = is_upper(ui);
+    const bool was_upper_j = is_upper(uj);
     const double ci = c[ui];
     const double cj = c[uj];
     if (y[ui] != y[uj]) {
@@ -185,19 +380,44 @@ SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
       }
     }
 
-    // Gradient maintenance: G_t += Q_ti * dai + Q_tj * daj.
+    // Gradient maintenance over the active set:
+    // G_t += Q_ti * dai + Q_tj * daj.
     const double dai = alpha[ui] - old_ai;
     const double daj = alpha[uj] - old_aj;
     if (dai != 0.0 || daj != 0.0) {
-      for (std::size_t t = 0; t < n; ++t) {
-        const auto yt = static_cast<double>(y[t]);
-        grad[t] += yt * (static_cast<double>(y[ui]) * row_i[t] * dai +
-                         static_cast<double>(y[uj]) * row_j[t] * daj);
+      const double si = static_cast<double>(y[ui]) * dai;
+      const double sj = static_cast<double>(y[uj]) * daj;
+      for (const std::size_t t : active) {
+        grad[t] += static_cast<double>(y[t]) * (si * row_i[t] + sj * row_j[t]);
+      }
+      if (shrinking) {
+        // Keep grad_bar exact across bound crossings (full-length rows
+        // are available, so the update covers inactive entries too).
+        if (was_upper_i != is_upper(ui)) {
+          const double sign = is_upper(ui) ? 1.0 : -1.0;
+          const double w = sign * ci * static_cast<double>(y[ui]);
+          for (std::size_t t = 0; t < n; ++t) {
+            grad_bar[t] += w * static_cast<double>(y[t]) * row_i[t];
+          }
+        }
+        if (was_upper_j != is_upper(uj)) {
+          const double sign = is_upper(uj) ? 1.0 : -1.0;
+          const double w = sign * cj * static_cast<double>(y[uj]);
+          for (std::size_t t = 0; t < n; ++t) {
+            grad_bar[t] += w * static_cast<double>(y[t]) * row_j[t];
+          }
+        }
       }
     }
   }
   result.iterations = iter;
-  if (iter >= config.max_iterations) result.converged = false;
+  if (iter >= config.max_iterations) {
+    result.converged = false;
+    if (active.size() < n) {
+      reconstruct_gradient();  // rho/objective need the full gradient
+      restore_active();
+    }
+  }
 
   // rho (decision offset): average of y_i G_i over free SVs, or the
   // midpoint of the bound interval when none are free.

@@ -8,14 +8,28 @@
 // ε-SVR reduce to this form — SVR by doubling the variables, exactly as in
 // LIBSVM.  Kernel rows are memoised in a bounded LRU cache so the solver
 // handles training sets whose full Gram matrix would not fit in memory.
+//
+// The solver also implements LIBSVM's shrinking heuristic: every
+// `shrink_interval` iterations, variables clamped at a bound whose KKT
+// violation lies strictly outside the current (m(α), M(α)) window are
+// removed from the active set, so late-stage selection and gradient
+// maintenance touch only the variables that can still move.  A second
+// gradient vector G_bar tracks the contribution of upper-bound variables,
+// which lets the full gradient be reconstructed exactly before the final
+// convergence check (and whenever the active set optimizes out early).
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
+
+#include "ml/kernel.hpp"
+#include "util/matrix.hpp"
 
 namespace xdmodml::ml {
 
@@ -25,6 +39,9 @@ namespace xdmodml::ml {
 struct SmoProblem {
   std::size_t n = 0;
   std::function<void(std::size_t i, std::span<double> out)> kernel_row;
+  /// Optional O(1) diagonal k(x_i, x_i); when absent the solver derives
+  /// the diagonal by materialising every row once (the legacy path).
+  std::function<double(std::size_t i)> kernel_diag;
   std::span<const double> p;     ///< linear term, size n
   std::span<const signed char> y;  ///< ±1 labels, size n
   std::span<const double> c;     ///< per-variable upper bounds, size n
@@ -35,6 +52,9 @@ struct SmoConfig {
   double tolerance = 1e-3;      ///< KKT violation tolerance
   std::size_t max_iterations = 10'000'000;
   std::size_t cache_rows = 4096;  ///< LRU capacity (rows of length n)
+  bool shrinking = true;        ///< LIBSVM-style active-set shrinking
+  /// Iterations between shrink passes; 0 = min(n, 1000) (LIBSVM default).
+  std::size_t shrink_interval = 0;
 };
 
 /// Solver output.
@@ -50,6 +70,7 @@ struct SmoResult {
 SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config = {});
 
 /// Bounded LRU cache of kernel rows, shared by solver and tests.
+/// Single-threaded; each solve_smo call owns one.
 class KernelRowCache {
  public:
   KernelRowCache(std::size_t n, std::size_t capacity,
@@ -68,6 +89,46 @@ class KernelRowCache {
   std::list<std::size_t> lru_;  // most recent at front
   struct Entry {
     std::vector<double> data;
+    std::list<std::size_t>::iterator lru_it;
+  };
+  std::unordered_map<std::size_t, Entry> rows_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// Thread-safe LRU cache of *full-matrix* kernel rows, backed by a
+/// GramRowEngine.  One instance is shared by every one-vs-one sub-problem
+/// of a multiclass fit: each row of the full Gram matrix is computed once
+/// (vectorized, norm-cached) and then sliced by up to k−1 machines whose
+/// training subsets contain that sample, instead of each pair re-deriving
+/// kernels over its private row subset.  Rows are handed out as
+/// shared_ptrs so concurrent readers stay valid across evictions; a row
+/// raced by two threads may be computed twice but is inserted once.
+class SharedGramCache {
+ public:
+  SharedGramCache(const Matrix& X, Kernel kernel, std::size_t capacity);
+
+  using RowPtr = std::shared_ptr<const std::vector<double>>;
+
+  /// Full kernel row i of the backing matrix (computed/cached on demand).
+  RowPtr row(std::size_t i);
+
+  /// k(x_i, x_i) in O(1) from the cached norms.
+  double diagonal(std::size_t i) const { return diag_[i]; }
+
+  const GramRowEngine& engine() const { return engine_; }
+  std::size_t rows() const { return engine_.rows(); }
+  std::size_t hits() const;
+  std::size_t misses() const;
+
+ private:
+  GramRowEngine engine_;
+  std::vector<double> diag_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<std::size_t> lru_;  // most recent at front
+  struct Entry {
+    RowPtr data;
     std::list<std::size_t>::iterator lru_it;
   };
   std::unordered_map<std::size_t, Entry> rows_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "ml/model_io.hpp"
 #include "util/error.hpp"
@@ -174,7 +175,8 @@ std::vector<double> couple_pairwise_probabilities(const Matrix& pairwise) {
 
 void BinarySvm::fit_decision(const Matrix& X, std::span<const signed char> y,
                              const SvmConfig& config, double c_positive,
-                             double c_negative) {
+                             double c_negative, SharedGramCache* shared_cache,
+                             std::span<const std::size_t> shared_rows) {
   const std::size_t n = X.rows();
   std::vector<double> p(n, -1.0);
   std::vector<double> c(n);
@@ -187,12 +189,39 @@ void BinarySvm::fit_decision(const Matrix& X, std::span<const signed char> y,
   problem.p = p;
   problem.y = y;
   problem.c = c;
-  problem.kernel_row = [&X, &config](std::size_t i, std::span<double> out) {
-    const auto xi = X.row(i);
-    for (std::size_t j = 0; j < X.rows(); ++j) {
-      out[j] = config.kernel(xi, X.row(j));
-    }
-  };
+  std::optional<GramRowEngine> engine;
+  if (shared_cache != nullptr && shared_rows.size() == n) {
+    // One-vs-one sub-problem: slice this pair's rows/columns out of the
+    // shared full-matrix cache instead of recomputing the kernels over
+    // the gathered subset.
+    problem.kernel_row = [shared_cache, shared_rows](std::size_t i,
+                                                     std::span<double> out) {
+      const auto full = shared_cache->row(shared_rows[i]);
+      const auto& f = *full;
+      for (std::size_t j = 0; j < shared_rows.size(); ++j) {
+        out[j] = f[shared_rows[j]];
+      }
+    };
+    problem.kernel_diag = [shared_cache, shared_rows](std::size_t i) {
+      return shared_cache->diagonal(shared_rows[i]);
+    };
+  } else if (config.gram_engine) {
+    engine.emplace(X, config.kernel);
+    problem.kernel_row = [&engine](std::size_t i, std::span<double> out) {
+      engine->fill_row(i, out);
+    };
+    problem.kernel_diag = [&engine](std::size_t i) {
+      return engine->diagonal(i);
+    };
+  } else {
+    // Scalar per-pair path (perf baseline / ablation arm).
+    problem.kernel_row = [&X, &config](std::size_t i, std::span<double> out) {
+      const auto xi = X.row(i);
+      for (std::size_t j = 0; j < X.rows(); ++j) {
+        out[j] = config.kernel(xi, X.row(j));
+      }
+    };
+  }
 
   const SmoResult result = solve_smo(problem, config.smo);
   rho_ = result.rho;
@@ -209,14 +238,23 @@ void BinarySvm::fit_decision(const Matrix& X, std::span<const signed char> y,
     coef_[s] = result.alpha[sv_rows[s]] *
                static_cast<double>(y[sv_rows[s]]);
   }
+  sv_full_rows_.clear();
+  if (shared_cache != nullptr && shared_rows.size() == n) {
+    sv_full_rows_.reserve(sv_rows.size());
+    for (const auto r : sv_rows) sv_full_rows_.push_back(shared_rows[r]);
+  }
   trained_ = true;
 }
 
 void BinarySvm::fit(const Matrix& X, std::span<const signed char> y,
                     const SvmConfig& config, std::uint64_t seed,
-                    double c_positive, double c_negative) {
+                    double c_positive, double c_negative,
+                    SharedGramCache* shared_cache,
+                    std::span<const std::size_t> shared_rows) {
   XDMODML_CHECK(c_positive > 0.0 && c_negative > 0.0,
                 "class weights must be positive");
+  XDMODML_CHECK(shared_cache == nullptr || shared_rows.size() == X.rows(),
+                "shared_rows must map every row of X into the shared cache");
   XDMODML_CHECK(X.rows() == y.size() && X.rows() >= 2,
                 "binary SVM needs at least two samples");
   bool has_pos = false;
@@ -264,11 +302,26 @@ void BinarySvm::fit(const Matrix& X, std::span<const signed char> y,
       BinarySvm fold_svm;
       SvmConfig fold_config = config;
       fold_config.probability = false;
+      // Fold rows are a subset of a subset: compose the mapping so the
+      // fold fit still slices rows out of the same shared cache.
+      std::vector<std::size_t> fold_shared;
+      if (shared_cache != nullptr) {
+        fold_shared.reserve(train_rows.size());
+        for (const auto r : train_rows) fold_shared.push_back(shared_rows[r]);
+      }
       fold_svm.fit(X.gather_rows(train_rows), train_y, fold_config,
-                   seed + f, c_positive, c_negative);
+                   seed + f, c_positive, c_negative, shared_cache,
+                   fold_shared);
       for (std::size_t i = 0; i < test_rows.size(); ++i) {
         const auto r = test_rows[i];
-        cv_decisions[r] = fold_svm.decision_value(X.row(r));
+        // Held-out rows are rows of the shared cache's full matrix, so
+        // their decision values are dot products against an already (or
+        // soon-to-be) cached Gram row — no fresh kernel evaluations.
+        cv_decisions[r] =
+            shared_cache != nullptr
+                ? fold_svm.decision_value_cached(*shared_cache,
+                                                shared_rows[r])
+                : fold_svm.decision_value(X.row(r));
         cv_labels[r] = y[r];
       }
     }
@@ -278,13 +331,17 @@ void BinarySvm::fit(const Matrix& X, std::span<const signed char> y,
     }
   }
 
-  fit_decision(X, y, config, c_positive, c_negative);
+  fit_decision(X, y, config, c_positive, c_negative, shared_cache,
+               shared_rows);
 
   if (config.probability && !has_platt_) {
     // CV degenerate (tiny class) — fall back to in-sample calibration.
     std::vector<double> decisions(X.rows());
     for (std::size_t i = 0; i < X.rows(); ++i) {
-      decisions[i] = decision_value(X.row(i));
+      decisions[i] = shared_cache != nullptr
+                         ? decision_value_cached(*shared_cache,
+                                                 shared_rows[i])
+                         : decision_value(X.row(i));
     }
     platt_ = fit_platt_sigmoid(decisions, y);
     has_platt_ = true;
@@ -296,6 +353,20 @@ double BinarySvm::decision_value(std::span<const double> x) const {
   double f = -rho_;
   for (std::size_t s = 0; s < support_vectors_.rows(); ++s) {
     f += coef_[s] * kernel_(support_vectors_.row(s), x);
+  }
+  return f;
+}
+
+double BinarySvm::decision_value_cached(SharedGramCache& cache,
+                                        std::size_t full_row) const {
+  XDMODML_CHECK(trained_, "decision_value before fit");
+  XDMODML_CHECK(sv_full_rows_.size() == coef_.size(),
+                "machine was not fitted through this shared cache");
+  const auto row = cache.row(full_row);
+  const auto& k = *row;
+  double f = -rho_;
+  for (std::size_t s = 0; s < sv_full_rows_.size(); ++s) {
+    f += coef_[s] * k[sv_full_rows_[s]];
   }
   return f;
 }
@@ -406,6 +477,21 @@ void SvmClassifier::fit(const Matrix& X, std::span<const int> y,
   Rng root(seed_);
   for (auto& task : tasks) task.seed = root();
 
+  // One norm vector + kernel-row cache over the full training matrix,
+  // shared by every one-vs-one sub-problem (and their Platt CV folds):
+  // each Gram row is computed once, vectorized, and sliced by the up to
+  // k−1 machines whose subsets contain that sample.  The capacity is
+  // clamped to a byte budget so huge fits degrade to LRU reuse instead
+  // of materialising an n² matrix.
+  std::unique_ptr<SharedGramCache> shared;
+  if (config_.gram_engine && config_.share_kernel_cache) {
+    const std::size_t row_bytes = X.rows() * sizeof(double);
+    const std::size_t budget_rows =
+        std::max<std::size_t>(2, config_.shared_cache_bytes / row_bytes);
+    shared = std::make_unique<SharedGramCache>(
+        X, config_.kernel, std::min(budget_rows, X.rows()));
+  }
+
   machines_.assign(tasks.size(), BinarySvm{});
   auto train_pair = [&](std::size_t idx) {
     const auto& task = tasks[idx];
@@ -431,7 +517,7 @@ void SvmClassifier::fit(const Matrix& X, std::span<const int> y,
       c_neg = config_.class_weights[static_cast<std::size_t>(task.b)];
     }
     machines_[idx].fit(X.gather_rows(rows), labels, config_, task.seed,
-                       c_pos, c_neg);
+                       c_pos, c_neg, shared.get(), rows);
   };
   if (config_.parallel) {
     ThreadPool::global().parallel_for(0, tasks.size(), train_pair);
@@ -571,14 +657,28 @@ void SvmRegressor::fit(const Matrix& X, std::span<const double> y) {
   problem.p = p;
   problem.y = labels;
   problem.c = c;
-  problem.kernel_row = [&X, this, l](std::size_t i, std::span<double> out) {
-    const auto xi = X.row(i % l);
-    for (std::size_t j = 0; j < l; ++j) {
-      const double k = config_.kernel(xi, X.row(j));
-      out[j] = k;
-      out[j + l] = k;
-    }
-  };
+  std::optional<GramRowEngine> engine;
+  if (config_.gram_engine) {
+    engine.emplace(X, config_.kernel);
+    // The doubled SVR variables alias the same l samples: fill one
+    // vectorized row and mirror it into the second half.
+    problem.kernel_row = [&engine, l](std::size_t i, std::span<double> out) {
+      engine->fill_row(i % l, out.subspan(0, l));
+      std::copy_n(out.data(), l, out.data() + l);
+    };
+    problem.kernel_diag = [&engine, l](std::size_t i) {
+      return engine->diagonal(i % l);
+    };
+  } else {
+    problem.kernel_row = [&X, this, l](std::size_t i, std::span<double> out) {
+      const auto xi = X.row(i % l);
+      for (std::size_t j = 0; j < l; ++j) {
+        const double k = config_.kernel(xi, X.row(j));
+        out[j] = k;
+        out[j + l] = k;
+      }
+    };
+  }
 
   const SmoResult result = solve_smo(problem, config_.smo);
   rho_ = result.rho;

@@ -36,6 +36,16 @@ struct SvmConfig {
   std::size_t platt_cv_folds = 3;  ///< CV folds for calibration values
   bool parallel = true;         ///< train OvO machines on the thread pool
   double epsilon = 0.1;         ///< ε-SVR tube half-width
+  /// Vectorized norm-cached Gram-row engine for training kernels.  Off =
+  /// the scalar per-pair Kernel::operator() path (ablation / perf
+  /// baseline; results are numerically equivalent either way).
+  bool gram_engine = true;
+  /// Share one thread-safe full-matrix kernel-row cache across all
+  /// one-vs-one sub-problems (each Gram row is computed once and sliced
+  /// by every machine whose subset contains it).  Requires gram_engine.
+  bool share_kernel_cache = true;
+  /// Memory budget for the shared cache (bytes of row storage).
+  std::size_t shared_cache_bytes = 256ull << 20;
 };
 
 /// Parameters of a fitted Platt sigmoid  P(+1|f) = 1/(1+exp(A f + B)).
@@ -62,9 +72,18 @@ class BinarySvm {
   /// set, also fits a Platt sigmoid on cross-validated decision values.
   /// `c_positive` / `c_negative` scale C for the two classes (class
   /// weighting); 1.0 = unweighted.
+  ///
+  /// `shared_cache` (optional) is a kernel-row cache over a *full*
+  /// training matrix of which X is a row subset; `shared_rows[i]` is the
+  /// full-matrix row backing X's row i.  When provided, kernel rows are
+  /// sliced out of the shared cache instead of being recomputed over the
+  /// subset — the multiclass one-vs-one trainer passes one cache to all
+  /// of its machines.
   void fit(const Matrix& X, std::span<const signed char> y,
            const SvmConfig& config, std::uint64_t seed = 1,
-           double c_positive = 1.0, double c_negative = 1.0);
+           double c_positive = 1.0, double c_negative = 1.0,
+           SharedGramCache* shared_cache = nullptr,
+           std::span<const std::size_t> shared_rows = {});
 
   /// Signed decision value f(x) = Σ coef_i k(sv_i, x) − rho.
   double decision_value(std::span<const double> x) const;
@@ -84,11 +103,22 @@ class BinarySvm {
  private:
   void fit_decision(const Matrix& X, std::span<const signed char> y,
                     const SvmConfig& config, double c_positive,
-                    double c_negative);
+                    double c_negative, SharedGramCache* shared_cache,
+                    std::span<const std::size_t> shared_rows);
+
+  /// decision_value for a probe that is itself a row of the shared
+  /// cache's full matrix: every k(sv, probe) is an entry of the probe's
+  /// cached Gram row, so no kernel evaluation happens here.  Only valid
+  /// when this machine was fitted through the same cache.
+  double decision_value_cached(SharedGramCache& cache,
+                               std::size_t full_row) const;
 
   Kernel kernel_;
   Matrix support_vectors_;
   std::vector<double> coef_;  ///< alpha_i * y_i, aligned with SV rows
+  /// Full-matrix row index of each SV when fitted via a shared cache
+  /// (empty otherwise); enables decision_value_cached.
+  std::vector<std::size_t> sv_full_rows_;
   double rho_ = 0.0;
   PlattSigmoid platt_;
   bool has_platt_ = false;

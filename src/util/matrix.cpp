@@ -37,6 +37,18 @@ void Matrix::append_row(std::span<const double> values) {
   ++rows_;
 }
 
+std::vector<double> Matrix::row_squared_norms() const {
+  std::vector<double> norms(rows_, 0.0);
+  const double* base = data_.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* x = base + r * cols_;
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += x[c] * x[c];
+    norms[r] = s;
+  }
+  return norms;
+}
+
 Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
   Matrix out(indices.size(), cols_);
   for (std::size_t i = 0; i < indices.size(); ++i) {

@@ -78,6 +78,30 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   for (auto& f : futures) f.get();  // rethrows the first chunk exception
 }
 
+void ThreadPool::parallel_for_ranges(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  XDMODML_CHECK(begin <= end, "parallel_for_ranges requires begin <= end");
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  // Inline when there is nothing to split or when called from a pool
+  // worker (same nested-dispatch deadlock hazard as parallel_for).
+  if (n <= grain || on_pool_thread()) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t max_chunks = std::min((n + grain - 1) / grain, size() * 4);
+  const std::size_t chunk_size = (n + max_chunks - 1) / max_chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(max_chunks);
+  for (std::size_t lo = begin; lo < end; lo += chunk_size) {
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    futures.push_back(submit([lo, hi, &body] { body(lo, hi); }));
+  }
+  for (auto& f : futures) f.get();  // rethrows the first chunk exception
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;

@@ -62,6 +62,17 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  /// Ranged variant: runs `body(lo, hi)` on contiguous sub-ranges of
+  /// [begin, end), each at least `grain` long (the last may be shorter).
+  /// The per-chunk callback keeps dispatch overhead off the inner loop —
+  /// the Gram-row engine hands each chunk a raw pointer sweep that the
+  /// compiler can vectorize.  Runs inline when the range fits in a single
+  /// chunk or the caller is already a pool worker.
+  void parallel_for_ranges(std::size_t begin, std::size_t end,
+                           std::size_t grain,
+                           const std::function<void(std::size_t, std::size_t)>&
+                               body);
+
   /// True when the calling thread is one of this pool's workers.
   bool on_pool_thread() const;
 

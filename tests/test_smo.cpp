@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "ml/kernel.hpp"
@@ -188,6 +189,122 @@ TEST(Smo, ValidatesInputs) {
   auto prob = fx.problem();
   prob.kernel_row = nullptr;
   EXPECT_THROW(solve_smo(prob), InvalidArgument);
+}
+
+// Shrinking must be a pure optimization: the shrunk and unshrunk solvers
+// have to land on the same solution (alphas, rho, objective) because the
+// active-set heuristic only skips variables whose KKT conditions already
+// pin them to a bound, and the gradient is reconstructed before the final
+// convergence check.
+TEST(Smo, ShrinkingMatchesUnshrunkSolver) {
+  for (const std::uint64_t seed : {7u, 21u, 1234u}) {
+    Rng rng(seed);
+    Matrix X;
+    std::vector<signed char> y;
+    for (int i = 0; i < 120; ++i) {
+      const int label = i % 2 == 0 ? 1 : -1;
+      X.append_row(std::vector<double>{rng.normal(label * 0.8, 1.2),
+                                       rng.normal(0.0, 1.0),
+                                       rng.normal(label * 0.3, 0.7)});
+      y.push_back(static_cast<signed char>(label));
+    }
+    std::vector<double> p(X.rows(), -1.0);
+    std::vector<double> c(X.rows(), 10.0);
+    const Kernel kernel = Kernel::rbf(0.4);
+    const GramRowEngine engine(X, kernel);
+    SmoProblem prob;
+    prob.n = X.rows();
+    prob.p = p;
+    prob.y = y;
+    prob.c = c;
+    prob.kernel_row = [&engine](std::size_t i, std::span<double> out) {
+      engine.fill_row(i, out);
+    };
+    prob.kernel_diag = [&engine](std::size_t i) {
+      return engine.diagonal(i);
+    };
+
+    // Both arms run at a tight duality-gap tolerance: the RBF Gram matrix
+    // on distinct points is strictly PD, so the dual optimum is unique
+    // and both solvers must land on it — the default 1e-3 gap would leave
+    // each arm at a different approximate solution.
+    SmoConfig off;
+    off.shrinking = false;
+    off.tolerance = 1e-9;
+    SmoConfig on;
+    on.shrinking = true;
+    on.tolerance = 1e-9;
+    on.shrink_interval = 10;  // force many shrink passes on a small problem
+    const auto r_off = solve_smo(prob, off);
+    const auto r_on = solve_smo(prob, on);
+    ASSERT_TRUE(r_off.converged);
+    ASSERT_TRUE(r_on.converged);
+    EXPECT_NEAR(r_on.rho, r_off.rho, 1e-6) << "seed " << seed;
+    EXPECT_NEAR(r_on.objective, r_off.objective, 1e-6) << "seed " << seed;
+    for (std::size_t i = 0; i < X.rows(); ++i) {
+      EXPECT_NEAR(r_on.alpha[i], r_off.alpha[i], 1e-6)
+          << "seed " << seed << " alpha " << i;
+    }
+  }
+}
+
+TEST(Smo, ShrinkingHandlesIterationCapWhileShrunk) {
+  // Hitting the cap with variables still shrunk must reconstruct the
+  // gradient so rho/objective are computed from a consistent state.
+  Rng rng(5);
+  Matrix X;
+  std::vector<signed char> y;
+  for (int i = 0; i < 60; ++i) {
+    const int label = i % 2 == 0 ? 1 : -1;
+    X.append_row(std::vector<double>{rng.normal(label * 1.0, 1.0),
+                                     rng.normal(0.0, 1.0)});
+    y.push_back(static_cast<signed char>(label));
+  }
+  std::vector<double> p(X.rows(), -1.0);
+  std::vector<double> c(X.rows(), 5.0);
+  const Kernel kernel = Kernel::rbf(0.5);
+  const GramRowEngine engine(X, kernel);
+  SmoProblem prob;
+  prob.n = X.rows();
+  prob.p = p;
+  prob.y = y;
+  prob.c = c;
+  prob.kernel_row = [&engine](std::size_t i, std::span<double> out) {
+    engine.fill_row(i, out);
+  };
+  SmoConfig cfg;
+  cfg.shrinking = true;
+  cfg.shrink_interval = 5;
+  cfg.max_iterations = 40;
+  const auto r = solve_smo(prob, cfg);
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(std::isfinite(r.rho));
+  EXPECT_TRUE(std::isfinite(r.objective));
+}
+
+TEST(SharedGramCache, SlicedRowsMatchDirectComputation) {
+  Rng rng(17);
+  Matrix X;
+  for (int i = 0; i < 24; ++i) {
+    X.append_row(std::vector<double>{rng.normal(0.0, 1.0),
+                                     rng.normal(1.0, 2.0),
+                                     rng.normal(-1.0, 0.5)});
+  }
+  const Kernel kernel = Kernel::rbf(0.3);
+  SharedGramCache cache(X, kernel, 4);  // force evictions
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    const auto row = cache.row(i);
+    ASSERT_EQ(row->size(), X.rows());
+    for (std::size_t j = 0; j < X.rows(); ++j) {
+      EXPECT_NEAR((*row)[j], kernel(X.row(i), X.row(j)), 1e-12);
+    }
+    EXPECT_NEAR(cache.diagonal(i), kernel(X.row(i), X.row(i)), 1e-12);
+  }
+  // A row handed out before eviction stays valid afterwards.
+  const auto pinned = cache.row(0);
+  for (std::size_t i = 1; i < X.rows(); ++i) (void)cache.row(i);
+  EXPECT_NEAR((*pinned)[5], kernel(X.row(0), X.row(5)), 1e-12);
+  EXPECT_GT(cache.misses(), 0u);
 }
 
 TEST(KernelRowCache, ComputesAndCaches) {
