@@ -69,24 +69,93 @@ CvResult cross_validate(const Dataset& ds, const ClassifierFactory& factory,
 std::vector<GridPoint> svm_grid_search(const Dataset& ds,
                                        std::span<const double> gammas,
                                        std::span<const double> cs,
-                                       std::size_t folds,
-                                       std::uint64_t seed) {
+                                       const SvmGridSearchOptions& options) {
+  ds.validate();
+  XDMODML_CHECK(!ds.labels.empty(), "grid search requires a labeled dataset");
   XDMODML_CHECK(!gammas.empty() && !cs.empty(),
                 "grid search requires candidate values");
+
+  // Fold assignment is drawn once for the entire grid (not per cell), so
+  // every (γ, C) cell trains and tests on identical splits: cross-cell
+  // accuracy differences are hyper-parameter signal, not fold noise, and
+  // a fold's kernel rows mean the same thing in every cell.
+  Rng rng(options.seed);
+  const auto fold_of = stratified_folds(ds.labels, options.folds, rng);
+
+  // One standardization for the whole sweep, fit on the full dataset.
+  // Per-fold standardizers would give each fold its own feature space —
+  // and therefore its own kernel matrix — defeating cross-fold row
+  // reuse.  The difference (means/stds over (k−1)/k of the rows vs all
+  // of them) is identical for every cell, so the ranking the tuner
+  // exists to produce is unaffected.
+  Standardizer standardizer;
+  const Matrix xs = standardizer.fit_transform(ds.X);
+
+  struct FoldRows {
+    std::vector<std::size_t> train;
+    std::vector<int> train_y;
+    std::vector<std::size_t> test;
+    std::vector<int> test_y;
+  };
+  std::vector<FoldRows> fold_rows(options.folds);
+  for (std::size_t f = 0; f < options.folds; ++f) {
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      if (fold_of[i] == f) {
+        fold_rows[f].test.push_back(i);
+        fold_rows[f].test_y.push_back(ds.labels[i]);
+      } else {
+        fold_rows[f].train.push_back(i);
+        fold_rows[f].train_y.push_back(ds.labels[i]);
+      }
+    }
+    XDMODML_CHECK(!fold_rows[f].train.empty() && !fold_rows[f].test.empty(),
+                  "fold without train or test rows — too many folds");
+  }
+
+  const std::size_t capacity =
+      std::min(SharedGramCache::rows_for_budget(xs.rows(),
+                                                options.cache_bytes,
+                                                options.cache_precision),
+               xs.rows());
+  const int num_classes = static_cast<int>(ds.num_classes());
   std::vector<GridPoint> points;
   for (const double gamma : gammas) {
+    // The RBF Gram matrix depends on γ alone: one cache per γ serves
+    // every C cell and every CV fold of this grid row (each fold's
+    // training set is a row subset of the full standardized matrix, so
+    // machines slice rows exactly the way one-vs-one pairs already do),
+    // and the test folds read their decision values off the same rows
+    // via predict_shared.
+    std::unique_ptr<SharedGramCache> cache;
+    if (options.reuse_kernel_cache) {
+      cache = std::make_unique<SharedGramCache>(
+          xs, Kernel::rbf(gamma), capacity, options.cache_precision);
+    }
     for (const double c : cs) {
-      SvmConfig config;
-      config.kernel = Kernel::rbf(gamma);
-      config.c = c;
-      config.probability = false;  // accuracy-only tuning, much faster
-      const auto result = cross_validate(
-          ds,
-          [&config, seed] {
-            return std::make_unique<SvmClassifier>(config, seed);
-          },
-          folds, seed);
-      points.push_back({gamma, c, result.mean_accuracy});
+      RunningStats stats;
+      for (std::size_t f = 0; f < options.folds; ++f) {
+        const auto& fr = fold_rows[f];
+        SvmConfig config = options.base;
+        config.kernel = Kernel::rbf(gamma);
+        config.c = c;
+        config.cache_precision = options.cache_precision;
+        // The refit arm (reuse off) runs the *same* code path against a
+        // fresh cache per fit, so every fold of every cell recomputes
+        // its kernel rows from scratch; identical arithmetic, so the
+        // two arms' accuracy tables are bit-identical by construction.
+        std::unique_ptr<SharedGramCache> fresh;
+        if (!options.reuse_kernel_cache) {
+          fresh = std::make_unique<SharedGramCache>(
+              xs, Kernel::rbf(gamma), capacity, options.cache_precision);
+        }
+        SharedGramCache& active = fresh ? *fresh : *cache;
+        SvmClassifier model(config, options.seed);
+        model.fit_shared(xs.gather_rows(fr.train), fr.train_y, num_classes,
+                         &active, fr.train);
+        const auto predictions = model.predict_shared(active, fr.test);
+        stats.add(accuracy(fr.test_y, predictions));
+      }
+      points.push_back({gamma, c, stats.mean()});
     }
   }
   std::sort(points.begin(), points.end(),
@@ -94,6 +163,17 @@ std::vector<GridPoint> svm_grid_search(const Dataset& ds,
               return a.cv_accuracy > b.cv_accuracy;
             });
   return points;
+}
+
+std::vector<GridPoint> svm_grid_search(const Dataset& ds,
+                                       std::span<const double> gammas,
+                                       std::span<const double> cs,
+                                       std::size_t folds,
+                                       std::uint64_t seed) {
+  SvmGridSearchOptions options;
+  options.folds = folds;
+  options.seed = seed;
+  return svm_grid_search(ds, gammas, cs, options);
 }
 
 }  // namespace xdmodml::ml

@@ -45,8 +45,41 @@ struct GridPoint {
   double cv_accuracy = 0.0;
 };
 
+/// Knobs for the (γ, C) tuning sweep.
+struct SvmGridSearchOptions {
+  SvmGridSearchOptions() { base.probability = false; }
+
+  std::size_t folds = 3;
+  std::uint64_t seed = 1;
+  /// Share one full-matrix kernel-row cache per γ across every C cell
+  /// and every CV fold (the RBF Gram matrix depends on γ alone, and each
+  /// fold's training set is a row subset of the full dataset).  Pure
+  /// reuse: the accuracy table is bit-identical to per-cell refits,
+  /// which remain available as the ablation/baseline arm.
+  bool reuse_kernel_cache = true;
+  /// Row storage precision of the tuning caches (and of the per-cell
+  /// caches in the refit arm, so the two arms stay comparable).
+  GramPrecision cache_precision = GramPrecision::kFloat32;
+  /// Byte budget per per-γ tuning cache.
+  std::size_t cache_bytes = 256ull << 20;
+  /// Base SVM config; kernel, C, and cache_precision are overwritten per
+  /// cell.  Defaults to probability = false (accuracy-only tuning); with
+  /// probability on, Platt CV folds also slice out of the shared cache.
+  SvmConfig base;
+};
+
 /// Grid-searches the RBF SVM over the cartesian product of `gammas` and
-/// `cs` with `folds`-fold CV; returns all points, best first.
+/// `cs`; returns all points, best first.  The fold assignment and the
+/// feature standardization are hoisted out of the cell loop — one RNG
+/// draw and one standardizer for the whole grid — so every cell trains
+/// on identical fold splits (cross-cell deltas are signal, not fold
+/// noise) and kernel rows can be shared across cells and folds.
+std::vector<GridPoint> svm_grid_search(const Dataset& ds,
+                                       std::span<const double> gammas,
+                                       std::span<const double> cs,
+                                       const SvmGridSearchOptions& options);
+
+/// Convenience overload with default options (kernel reuse on).
 std::vector<GridPoint> svm_grid_search(const Dataset& ds,
                                        std::span<const double> gammas,
                                        std::span<const double> cs,

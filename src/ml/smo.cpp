@@ -39,11 +39,57 @@ std::span<const double> KernelRowCache::row(std::size_t i) {
   return pos->second.data;
 }
 
+void SharedGramCache::Row::gather(std::span<const std::size_t> idx,
+                                  std::span<double> out) const {
+  if (!f32_.empty()) {
+    const float* r = f32_.data();
+    for (std::size_t t = 0; t < idx.size(); ++t) {
+      out[t] = static_cast<double>(r[idx[t]]);
+    }
+  } else {
+    const double* r = f64_.data();
+    for (std::size_t t = 0; t < idx.size(); ++t) out[t] = r[idx[t]];
+  }
+}
+
+double SharedGramCache::Row::dot_at(std::span<const std::size_t> idx,
+                                    std::span<const double> coef) const {
+  double f = 0.0;
+  if (!f32_.empty()) {
+    const float* r = f32_.data();
+    for (std::size_t s = 0; s < idx.size(); ++s) {
+      f += coef[s] * static_cast<double>(r[idx[s]]);
+    }
+  } else {
+    const double* r = f64_.data();
+    for (std::size_t s = 0; s < idx.size(); ++s) f += coef[s] * r[idx[s]];
+  }
+  return f;
+}
+
 SharedGramCache::SharedGramCache(const Matrix& X, Kernel kernel,
-                                 std::size_t capacity)
-    : engine_(X, kernel), capacity_(std::max<std::size_t>(2, capacity)) {
+                                 std::size_t capacity_rows,
+                                 GramPrecision precision)
+    : engine_(X, kernel), capacity_(std::max<std::size_t>(2, capacity_rows)),
+      precision_(precision) {
   diag_.resize(X.rows());
   for (std::size_t i = 0; i < X.rows(); ++i) diag_[i] = engine_.diagonal(i);
+}
+
+std::size_t SharedGramCache::row_bytes() const {
+  return engine_.rows() * (precision_ == GramPrecision::kFloat32
+                               ? sizeof(float)
+                               : sizeof(double));
+}
+
+std::size_t SharedGramCache::rows_for_budget(std::size_t n,
+                                             std::size_t budget_bytes,
+                                             GramPrecision precision) {
+  XDMODML_CHECK(n > 0, "rows_for_budget requires a non-empty matrix");
+  const std::size_t elem = precision == GramPrecision::kFloat32
+                               ? sizeof(float)
+                               : sizeof(double);
+  return std::max<std::size_t>(2, budget_bytes / (n * elem));
 }
 
 SharedGramCache::RowPtr SharedGramCache::row(std::size_t i) {
@@ -60,12 +106,25 @@ SharedGramCache::RowPtr SharedGramCache::row(std::size_t i) {
   }
   // Compute outside the lock so concurrent misses on different rows fill
   // in parallel; a race on the *same* row does redundant work but the
-  // first insert wins and both callers see a valid row.
-  auto fresh = std::make_shared<std::vector<double>>(engine_.rows());
-  engine_.fill_row(i, *fresh);
+  // first insert wins and both callers see a valid row.  The engine
+  // always emits doubles; the float32 path narrows once at fill time so
+  // every later reuse reads half the bytes.
+  auto fresh = std::make_shared<Row>();
+  if (precision_ == GramPrecision::kFloat32) {
+    std::vector<double> scratch(engine_.rows());
+    engine_.fill_row(i, scratch);
+    fresh->f32_.resize(scratch.size());
+    for (std::size_t j = 0; j < scratch.size(); ++j) {
+      fresh->f32_[j] = static_cast<float>(scratch[j]);
+    }
+  } else {
+    fresh->f64_.resize(engine_.rows());
+    engine_.fill_row(i, fresh->f64_);
+  }
   std::lock_guard lock(mutex_);
   const auto it = rows_.find(i);
   if (it != rows_.end()) {
+    // Lost a same-row race: the access was already counted as a miss.
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return it->second.data;
   }
@@ -73,6 +132,7 @@ SharedGramCache::RowPtr SharedGramCache::row(std::size_t i) {
     const std::size_t victim = lru_.back();
     lru_.pop_back();
     rows_.erase(victim);
+    ++evictions_;
   }
   lru_.push_front(i);
   auto [pos, inserted] =
@@ -89,6 +149,11 @@ std::size_t SharedGramCache::hits() const {
 std::size_t SharedGramCache::misses() const {
   std::lock_guard lock(mutex_);
   return misses_;
+}
+
+std::size_t SharedGramCache::evictions() const {
+  std::lock_guard lock(mutex_);
+  return evictions_;
 }
 
 SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {

@@ -96,35 +96,91 @@ class KernelRowCache {
   std::size_t misses_ = 0;
 };
 
+/// Storage precision of cached full-matrix Gram rows.  Float32 doubles
+/// the effective cache capacity and halves the memory bandwidth of every
+/// reuse; its ~1e-7 relative rounding sits far below the SMO KKT
+/// tolerance (1e-3), so solver results are equivalent (tested to 1e-3 on
+/// alphas/rho/objective, exact on predicted labels).  Float64 is the
+/// exact ablation arm.
+enum class GramPrecision { kFloat32, kFloat64 };
+
 /// Thread-safe LRU cache of *full-matrix* kernel rows, backed by a
 /// GramRowEngine.  One instance is shared by every one-vs-one sub-problem
-/// of a multiclass fit: each row of the full Gram matrix is computed once
-/// (vectorized, norm-cached) and then sliced by up to k−1 machines whose
-/// training subsets contain that sample, instead of each pair re-deriving
-/// kernels over its private row subset.  Rows are handed out as
-/// shared_ptrs so concurrent readers stay valid across evictions; a row
-/// raced by two threads may be computed twice but is inserted once.
+/// of a multiclass fit — and, through `SvmClassifier::fit_shared`, by
+/// every CV fold and grid cell of a tuning sweep: each row of the full
+/// Gram matrix is computed once (vectorized, norm-cached) and then sliced
+/// by every consumer whose training subset contains that sample, instead
+/// of each fit re-deriving kernels over its private row subset.  Rows are
+/// handed out as shared_ptrs so concurrent readers stay valid across
+/// evictions; a row raced by two threads may be computed twice but is
+/// inserted once.  Rows are stored in `precision` (float32 by default;
+/// see GramPrecision) and always read back as double.
 class SharedGramCache {
  public:
-  SharedGramCache(const Matrix& X, Kernel kernel, std::size_t capacity);
+  SharedGramCache(const Matrix& X, Kernel kernel, std::size_t capacity_rows,
+                  GramPrecision precision = GramPrecision::kFloat32);
 
-  using RowPtr = std::shared_ptr<const std::vector<double>>;
+  /// One cached full-matrix kernel row; exactly one of the two payload
+  /// vectors is populated, matching the cache's precision.  Immutable
+  /// once handed out.
+  class Row {
+   public:
+    std::size_t size() const {
+      return f32_.empty() ? f64_.size() : f32_.size();
+    }
+
+    double operator[](std::size_t j) const {
+      return f32_.empty() ? f64_[j] : static_cast<double>(f32_[j]);
+    }
+
+    /// out[t] = row[idx[t]] — the one-vs-one subset slice, with the
+    /// precision branch hoisted out of the gather loop.
+    void gather(std::span<const std::size_t> idx,
+                std::span<double> out) const;
+
+    /// Σ_s coef[s] * row[idx[s]] — a cached-row decision value.
+    double dot_at(std::span<const std::size_t> idx,
+                  std::span<const double> coef) const;
+
+   private:
+    friend class SharedGramCache;
+    std::vector<float> f32_;
+    std::vector<double> f64_;
+  };
+
+  using RowPtr = std::shared_ptr<const Row>;
 
   /// Full kernel row i of the backing matrix (computed/cached on demand).
   RowPtr row(std::size_t i);
 
-  /// k(x_i, x_i) in O(1) from the cached norms.
+  /// k(x_i, x_i) in O(1) from the cached norms (always full precision —
+  /// the solver's curvature terms never pay the float32 rounding).
   double diagonal(std::size_t i) const { return diag_[i]; }
 
   const GramRowEngine& engine() const { return engine_; }
   std::size_t rows() const { return engine_.rows(); }
+  GramPrecision precision() const { return precision_; }
+
+  /// Bytes of payload per cached row at this cache's precision.
+  std::size_t row_bytes() const;
+  std::size_t capacity_rows() const { return capacity_; }
+  std::size_t capacity_bytes() const { return capacity_ * row_bytes(); }
+
+  /// Rows of length `n` affordable under `budget_bytes` at `precision`
+  /// (floor 2, so the LRU always has a victim and a survivor).  Float32
+  /// affords exactly twice the rows of float64 for the same budget.
+  static std::size_t rows_for_budget(std::size_t n, std::size_t budget_bytes,
+                                     GramPrecision precision);
+
   std::size_t hits() const;
   std::size_t misses() const;
+  std::size_t evictions() const;
 
  private:
   GramRowEngine engine_;
   std::vector<double> diag_;
   std::size_t capacity_;
+  GramPrecision precision_;
   mutable std::mutex mutex_;
   std::list<std::size_t> lru_;  // most recent at front
   struct Entry {
@@ -134,6 +190,7 @@ class SharedGramCache {
   std::unordered_map<std::size_t, Entry> rows_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace xdmodml::ml

@@ -197,10 +197,7 @@ void BinarySvm::fit_decision(const Matrix& X, std::span<const signed char> y,
     problem.kernel_row = [shared_cache, shared_rows](std::size_t i,
                                                      std::span<double> out) {
       const auto full = shared_cache->row(shared_rows[i]);
-      const auto& f = *full;
-      for (std::size_t j = 0; j < shared_rows.size(); ++j) {
-        out[j] = f[shared_rows[j]];
-      }
+      full->gather(shared_rows, out.subspan(0, shared_rows.size()));
     };
     problem.kernel_diag = [shared_cache, shared_rows](std::size_t i) {
       return shared_cache->diagonal(shared_rows[i]);
@@ -363,12 +360,7 @@ double BinarySvm::decision_value_cached(SharedGramCache& cache,
   XDMODML_CHECK(sv_full_rows_.size() == coef_.size(),
                 "machine was not fitted through this shared cache");
   const auto row = cache.row(full_row);
-  const auto& k = *row;
-  double f = -rho_;
-  for (std::size_t s = 0; s < sv_full_rows_.size(); ++s) {
-    f += coef_[s] * k[sv_full_rows_[s]];
-  }
-  return f;
+  return row->dot_at(sv_full_rows_, coef_) - rho_;
 }
 
 double BinarySvm::probability_positive(std::span<const double> x) const {
@@ -450,9 +442,25 @@ std::size_t SvmClassifier::machine_index(int a, int b) const {
 
 void SvmClassifier::fit(const Matrix& X, std::span<const int> y,
                         int num_classes) {
+  fit_shared(X, y, num_classes, nullptr, {});
+}
+
+void SvmClassifier::fit_shared(const Matrix& X, std::span<const int> y,
+                               int num_classes, SharedGramCache* cache,
+                               std::span<const std::size_t> cache_rows) {
   XDMODML_CHECK(X.rows() == y.size() && X.rows() > 0,
                 "fit requires matching non-empty X and y");
   XDMODML_CHECK(num_classes >= 2, "multiclass SVM needs >= 2 classes");
+  if (cache != nullptr) {
+    XDMODML_CHECK(cache_rows.size() == X.rows(),
+                  "cache_rows must map every row of X into the cache");
+    const auto& k = cache->engine().kernel();
+    XDMODML_CHECK(k.type == config_.kernel.type &&
+                      k.gamma == config_.kernel.gamma &&
+                      k.degree == config_.kernel.degree &&
+                      k.coef0 == config_.kernel.coef0,
+                  "external cache kernel must match the SVM kernel");
+  }
   num_classes_ = num_classes;
 
   // Group rows by class once.
@@ -482,14 +490,18 @@ void SvmClassifier::fit(const Matrix& X, std::span<const int> y,
   // each Gram row is computed once, vectorized, and sliced by the up to
   // k−1 machines whose subsets contain that sample.  The capacity is
   // clamped to a byte budget so huge fits degrade to LRU reuse instead
-  // of materialising an n² matrix.
-  std::unique_ptr<SharedGramCache> shared;
-  if (config_.gram_engine && config_.share_kernel_cache) {
-    const std::size_t row_bytes = X.rows() * sizeof(double);
-    const std::size_t budget_rows =
-        std::max<std::size_t>(2, config_.shared_cache_bytes / row_bytes);
-    shared = std::make_unique<SharedGramCache>(
-        X, config_.kernel, std::min(budget_rows, X.rows()));
+  // of materialising an n² matrix.  A caller-provided cache (the tuning
+  // sweep's per-γ cache over the full standardized dataset) takes the
+  // place of the per-fit one and amortizes rows across fits too.
+  std::unique_ptr<SharedGramCache> owned;
+  SharedGramCache* shared = cache;
+  if (shared == nullptr && config_.gram_engine && config_.share_kernel_cache) {
+    const std::size_t budget_rows = SharedGramCache::rows_for_budget(
+        X.rows(), config_.shared_cache_bytes, config_.cache_precision);
+    owned = std::make_unique<SharedGramCache>(
+        X, config_.kernel, std::min(budget_rows, X.rows()),
+        config_.cache_precision);
+    shared = owned.get();
   }
 
   machines_.assign(tasks.size(), BinarySvm{});
@@ -516,8 +528,18 @@ void SvmClassifier::fit(const Matrix& X, std::span<const int> y,
       c_pos = config_.class_weights[static_cast<std::size_t>(task.a)];
       c_neg = config_.class_weights[static_cast<std::size_t>(task.b)];
     }
+    // With an external cache, X is itself a subset of the cache's
+    // matrix: compose the pair's rows through cache_rows so machines
+    // slice the right full-matrix rows, while the gather stays in
+    // X-space.
+    std::vector<std::size_t> full_rows;
+    if (cache != nullptr) {
+      full_rows.reserve(rows.size());
+      for (const auto r : rows) full_rows.push_back(cache_rows[r]);
+    }
     machines_[idx].fit(X.gather_rows(rows), labels, config_, task.seed,
-                       c_pos, c_neg, shared.get(), rows);
+                       c_pos, c_neg, shared,
+                       cache != nullptr ? full_rows : rows);
   };
   if (config_.parallel) {
     ThreadPool::global().parallel_for(0, tasks.size(), train_pair);
@@ -574,6 +596,48 @@ int SvmClassifier::predict_by_votes(std::span<const double> x) const {
   // class index, matching the vote-fraction argmax in predict_proba.
   return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
                           votes.begin());
+}
+
+std::vector<int> SvmClassifier::predict_shared(
+    SharedGramCache& cache, std::span<const std::size_t> rows) const {
+  XDMODML_CHECK(!machines_.empty(), "predict before fit");
+  const auto k = static_cast<std::size_t>(num_classes_);
+  std::vector<int> labels;
+  labels.reserve(rows.size());
+  for (const auto r : rows) {
+    if (config_.probability) {
+      // Same pairwise coupling as predict_proba, with the decision
+      // values read off the probe's cached Gram row.
+      Matrix pairwise(k, k, 0.0);
+      for (int a = 0; a < num_classes_; ++a) {
+        for (int b = a + 1; b < num_classes_; ++b) {
+          const auto& machine = machines_[machine_index(a, b)];
+          double p = machine.sigmoid().probability(
+              machine.decision_value_cached(cache, r));
+          p = std::min(std::max(p, 1e-7), 1.0 - 1e-7);
+          pairwise(static_cast<std::size_t>(a),
+                   static_cast<std::size_t>(b)) = p;
+          pairwise(static_cast<std::size_t>(b),
+                   static_cast<std::size_t>(a)) = 1.0 - p;
+        }
+      }
+      const auto proba = couple_pairwise_probabilities(pairwise);
+      labels.push_back(static_cast<int>(
+          std::max_element(proba.begin(), proba.end()) - proba.begin()));
+    } else {
+      std::vector<std::size_t> votes(k, 0);
+      for (int a = 0; a < num_classes_; ++a) {
+        for (int b = a + 1; b < num_classes_; ++b) {
+          const auto& machine = machines_[machine_index(a, b)];
+          ++votes[static_cast<std::size_t>(
+              machine.decision_value_cached(cache, r) > 0.0 ? a : b)];
+        }
+      }
+      labels.push_back(static_cast<int>(
+          std::max_element(votes.begin(), votes.end()) - votes.begin()));
+    }
+  }
+  return labels;
 }
 
 int SvmClassifier::predict(std::span<const double> x) const {

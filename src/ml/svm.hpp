@@ -46,6 +46,10 @@ struct SvmConfig {
   bool share_kernel_cache = true;
   /// Memory budget for the shared cache (bytes of row storage).
   std::size_t shared_cache_bytes = 256ull << 20;
+  /// Storage precision of the shared cache's rows.  Float32 (default)
+  /// doubles the rows the byte budget affords and halves reuse
+  /// bandwidth; float64 is the exact ablation arm (run-time flag).
+  GramPrecision cache_precision = GramPrecision::kFloat32;
 };
 
 /// Parameters of a fitted Platt sigmoid  P(+1|f) = 1/(1+exp(A f + B)).
@@ -94,7 +98,19 @@ class BinarySvm {
   bool has_probability() const { return has_platt_; }
   std::size_t num_support_vectors() const { return support_vectors_.rows(); }
   double rho() const { return rho_; }
+  /// alpha_i * y_i per support vector (|coef_i| = alpha_i); exposed for
+  /// the float-vs-double equivalence tests.
+  std::span<const double> coefficients() const { return coef_; }
   const PlattSigmoid& sigmoid() const;
+
+  /// decision_value for a probe that is itself a row of the shared
+  /// cache's full matrix: every k(sv, probe) is an entry of the probe's
+  /// cached Gram row, so no kernel evaluation happens here.  Only valid
+  /// when this machine was fitted through the same cache.  Used by the
+  /// Platt CV folds and by `SvmClassifier::predict_shared` (CV test
+  /// rows of a tuning sweep live in the same full matrix).
+  double decision_value_cached(SharedGramCache& cache,
+                               std::size_t full_row) const;
 
   /// Serialization of a trained machine.
   void save(std::ostream& out) const;
@@ -105,13 +121,6 @@ class BinarySvm {
                     const SvmConfig& config, double c_positive,
                     double c_negative, SharedGramCache* shared_cache,
                     std::span<const std::size_t> shared_rows);
-
-  /// decision_value for a probe that is itself a row of the shared
-  /// cache's full matrix: every k(sv, probe) is an entry of the probe's
-  /// cached Gram row, so no kernel evaluation happens here.  Only valid
-  /// when this machine was fitted through the same cache.
-  double decision_value_cached(SharedGramCache& cache,
-                               std::size_t full_row) const;
 
   Kernel kernel_;
   Matrix support_vectors_;
@@ -131,6 +140,18 @@ class SvmClassifier final : public Classifier {
   explicit SvmClassifier(SvmConfig config = {}, std::uint64_t seed = 11);
 
   void fit(const Matrix& X, std::span<const int> y, int num_classes) override;
+
+  /// Trains against an *external* full-matrix kernel-row cache.  X must
+  /// be a row subset of the cache's backing matrix and `cache_rows[i]`
+  /// the full-matrix row behind X's row i; the kernel must match
+  /// `config.kernel`.  This is the cross-fit reuse hook: a tuning sweep
+  /// builds one SharedGramCache per γ over the standardized full dataset
+  /// and every CV fold of every C cell slices rows out of it, exactly
+  /// the way one-vs-one machines already share the per-fit cache.  With
+  /// `cache == nullptr` this is identical to fit().
+  void fit_shared(const Matrix& X, std::span<const int> y, int num_classes,
+                  SharedGramCache* cache,
+                  std::span<const std::size_t> cache_rows);
 
   /// With probability fitting: pairwise-coupled class probabilities.
   /// Without: normalized vote fractions (ablation arm).
@@ -155,6 +176,15 @@ class SvmClassifier final : public Classifier {
   /// probability fitting.  Ties resolve to the lowest class index.
   int predict_by_votes(std::span<const double> x) const;
 
+  /// Predicts probes that are themselves rows of `cache`'s full matrix,
+  /// given by full-matrix row index.  Every k(sv, probe) the machines
+  /// need is an entry of the probe's cached Gram row, so no kernel
+  /// evaluations happen here — a tuning sweep's CV test folds reuse the
+  /// very rows training filled.  Only valid after `fit_shared` through
+  /// the same cache; follows `predict`'s labelling rule.
+  std::vector<int> predict_shared(SharedGramCache& cache,
+                                  std::span<const std::size_t> rows) const;
+
   /// Label + probability; the label is the argmax of `predict_proba`
   /// (coupled probabilities, or vote fractions without a Platt fit) and
   /// the probability is that same class's entry, so the pair is always
@@ -164,6 +194,9 @@ class SvmClassifier final : public Classifier {
 
   int num_classes() const override { return num_classes_; }
   std::size_t num_machines() const { return machines_.size(); }
+  /// The idx-th one-vs-one machine in lexicographic (a, b) order;
+  /// exposed for the equivalence test layer.
+  const BinarySvm& machine(std::size_t idx) const { return machines_[idx]; }
   std::size_t total_support_vectors() const;
 
   /// Serialization of a trained multiclass model.

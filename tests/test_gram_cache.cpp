@@ -1,0 +1,181 @@
+// Property tests for SharedGramCache: LRU eviction order, byte-budget
+// capacity accounting under float32 vs float64 rows, slice helpers, and
+// a multi-threaded hammer asserting no torn rows or double-fills.
+#include "ml/smo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "ml/kernel.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml::ml {
+namespace {
+
+Matrix make_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix X(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      X(r, c) = rng.normal(0.0, 1.0);
+    }
+  }
+  return X;
+}
+
+TEST(SharedGramCacheProps, LruEvictionOrder) {
+  const Matrix X = make_matrix(8, 3, 11);
+  SharedGramCache cache(X, Kernel::rbf(0.5), 2);
+  EXPECT_EQ(cache.capacity_rows(), 2u);
+
+  (void)cache.row(0);  // miss, fill
+  (void)cache.row(1);  // miss, fill — cache = {1, 0} (MRU first)
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  (void)cache.row(0);  // hit, refreshes 0 — cache = {0, 1}
+  EXPECT_EQ(cache.hits(), 1u);
+
+  (void)cache.row(2);  // miss, evicts the LRU row 1 — cache = {2, 0}
+  EXPECT_EQ(cache.evictions(), 1u);
+  (void)cache.row(0);  // still resident: the refresh kept it off the tail
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 3u);
+
+  (void)cache.row(1);  // evicted above, so this recomputes (evicting 2)
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(SharedGramCacheProps, RepeatedAccessDoesNotDoubleFill) {
+  const Matrix X = make_matrix(6, 3, 12);
+  SharedGramCache cache(X, Kernel::rbf(0.5), 4);
+  const auto first = cache.row(3);
+  const auto second = cache.row(3);
+  // Same shared payload, not a recomputed copy.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(SharedGramCacheProps, ByteBudgetAccountsForPrecision) {
+  const std::size_t n = 100;
+  const std::size_t budget = 100 * 1024;  // 100 KiB
+  // float32 rows cost n*4 bytes, float64 rows n*8: the same byte budget
+  // affords exactly twice the float rows.
+  const auto rows_f32 = SharedGramCache::rows_for_budget(
+      n, budget, GramPrecision::kFloat32);
+  const auto rows_f64 = SharedGramCache::rows_for_budget(
+      n, budget, GramPrecision::kFloat64);
+  EXPECT_EQ(rows_f32, budget / (n * sizeof(float)));
+  EXPECT_EQ(rows_f64, budget / (n * sizeof(double)));
+  EXPECT_EQ(rows_f32, 2 * rows_f64);
+  // Tiny budgets floor at 2 rows so the LRU always has a victim.
+  EXPECT_EQ(SharedGramCache::rows_for_budget(n, 0, GramPrecision::kFloat32),
+            2u);
+
+  const Matrix X = make_matrix(n, 4, 13);
+  SharedGramCache f32(X, Kernel::rbf(0.1), rows_f32,
+                      GramPrecision::kFloat32);
+  SharedGramCache f64(X, Kernel::rbf(0.1), rows_f64,
+                      GramPrecision::kFloat64);
+  EXPECT_EQ(f32.row_bytes(), n * sizeof(float));
+  EXPECT_EQ(f64.row_bytes(), n * sizeof(double));
+  EXPECT_LE(f32.capacity_bytes(), budget);
+  EXPECT_LE(f64.capacity_bytes(), budget);
+  EXPECT_EQ(f32.capacity_bytes(), f64.capacity_bytes());
+}
+
+TEST(SharedGramCacheProps, GatherAndDotMatchElementAccess) {
+  const Matrix X = make_matrix(12, 4, 14);
+  for (const auto precision :
+       {GramPrecision::kFloat32, GramPrecision::kFloat64}) {
+    SharedGramCache cache(X, Kernel::rbf(0.2), X.rows(), precision);
+    const auto row = cache.row(5);
+    const std::vector<std::size_t> idx{7, 0, 11, 5, 2};
+    std::vector<double> out(idx.size());
+    row->gather(idx, out);
+    const std::vector<double> coef{0.5, -1.0, 2.0, 0.25, -0.75};
+    double expected_dot = 0.0;
+    for (std::size_t t = 0; t < idx.size(); ++t) {
+      EXPECT_EQ(out[t], (*row)[idx[t]]);
+      expected_dot += coef[t] * (*row)[idx[t]];
+    }
+    EXPECT_DOUBLE_EQ(row->dot_at(idx, coef), expected_dot);
+  }
+}
+
+TEST(SharedGramCacheProps, Float32RowsRoundTheDoubleRows) {
+  const Matrix X = make_matrix(20, 5, 15);
+  const Kernel kernel = Kernel::rbf(0.3);
+  SharedGramCache f32(X, kernel, X.rows(), GramPrecision::kFloat32);
+  SharedGramCache f64(X, kernel, X.rows(), GramPrecision::kFloat64);
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    const auto a = f32.row(i);
+    const auto b = f64.row(i);
+    for (std::size_t j = 0; j < X.rows(); ++j) {
+      // The float row is exactly the rounded double row: same sweep,
+      // one narrowing conversion.
+      EXPECT_EQ((*a)[j], static_cast<double>(static_cast<float>((*b)[j])));
+    }
+  }
+}
+
+// N threads × M rows hammering a small cache must never observe a torn
+// or partially-filled row: every handed-out row matches the engine's
+// reference values exactly, even while other threads force evictions.
+TEST(SharedGramCacheProps, ConcurrentHammerYieldsNoTornRows) {
+  const std::size_t n = 32;
+  const Matrix X = make_matrix(n, 6, 16);
+  const Kernel kernel = Kernel::rbf(0.25);
+
+  // Reference rows straight from a private engine.
+  const GramRowEngine reference(X, kernel);
+  Matrix expected(n, n);
+  for (std::size_t i = 0; i < n; ++i) reference.fill_row(i, expected.row(i));
+
+  for (const auto precision :
+       {GramPrecision::kFloat32, GramPrecision::kFloat64}) {
+    SharedGramCache cache(X, kernel, 6, precision);  // deliberately small
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kOpsPerThread = 300;
+    std::atomic<std::size_t> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(100 + t);
+        for (std::size_t op = 0; op < kOpsPerThread; ++op) {
+          const auto i = static_cast<std::size_t>(rng.uniform_index(n));
+          const auto row = cache.row(i);
+          if (row->size() != n) {
+            ++mismatches;
+            continue;
+          }
+          for (std::size_t j = 0; j < n; ++j) {
+            const double want =
+                precision == GramPrecision::kFloat32
+                    ? static_cast<double>(static_cast<float>(expected(i, j)))
+                    : expected(i, j);
+            if ((*row)[j] != want) ++mismatches;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+    // Every access is exactly one hit or one miss — racing threads may
+    // compute a row twice, but the accounting never loses an access.
+    EXPECT_EQ(cache.hits() + cache.misses(), kThreads * kOpsPerThread);
+    EXPECT_GE(cache.misses(), n - cache.capacity_rows());
+  }
+}
+
+}  // namespace
+}  // namespace xdmodml::ml

@@ -1,0 +1,215 @@
+// Equivalence tests for the float32 kernel-row cache and the
+// cross-grid/cross-fold kernel reuse path:
+//  * float32-cached vs float64-cached SMO agrees on alphas/rho/objective
+//    to 1e-3 (binary solve and the 20-class one-vs-one fit) and on
+//    predicted labels exactly;
+//  * a tuning sweep with the shared per-γ cache produces a (γ, C)
+//    accuracy table bit-identical to per-cell refits.
+#include "ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "ml/kernel.hpp"
+#include "ml/smo.hpp"
+#include "ml/svm.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml::ml {
+namespace {
+
+/// `classes` Gaussian blobs in `dims` dimensions, `per_class` rows each.
+Dataset make_class_blobs(int classes, std::size_t per_class,
+                         std::size_t dims, double separation,
+                         std::uint64_t seed) {
+  Dataset ds;
+  Rng rng(seed);
+  for (int c = 0; c < classes; ++c) {
+    ds.class_names.push_back("class-" + std::to_string(c));
+    for (std::size_t i = 0; i < per_class; ++i) {
+      std::vector<double> row(dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        // Spread the class centres over a d-dimensional lattice so 20
+        // classes stay separable in 6 dimensions.
+        const double centre =
+            separation * (((c >> (d % 5)) & 1) ? 1.0 : -1.0) +
+            0.3 * separation * static_cast<double>(c % 3);
+        row[d] = rng.normal(centre, 1.0);
+      }
+      ds.X.append_row(row);
+      ds.labels.push_back(c);
+    }
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    ds.feature_names.push_back("f" + std::to_string(d));
+  }
+  return ds;
+}
+
+SmoResult solve_through_cache(const Matrix& X,
+                              std::span<const signed char> y,
+                              GramPrecision precision) {
+  SharedGramCache cache(X, Kernel::rbf(0.3), X.rows(), precision);
+  std::vector<double> p(X.rows(), -1.0);
+  std::vector<double> c(X.rows(), 10.0);
+  SmoProblem prob;
+  prob.n = X.rows();
+  prob.p = p;
+  prob.y = y;
+  prob.c = c;
+  prob.kernel_row = [&cache](std::size_t i, std::span<double> out) {
+    const auto row = cache.row(i);
+    for (std::size_t j = 0; j < row->size(); ++j) out[j] = (*row)[j];
+  };
+  prob.kernel_diag = [&cache](std::size_t i) { return cache.diagonal(i); };
+  // A tight gap pins the (strictly-convex) dual optimum so the two
+  // precision arms converge to comparable solutions, not merely to two
+  // different points inside a loose 1e-3 KKT window.
+  SmoConfig cfg;
+  cfg.tolerance = 1e-6;
+  return solve_smo(prob, cfg);
+}
+
+TEST(GramPrecisionEquivalence, BinarySmoAgreesAcrossPrecisions) {
+  Rng rng(31);
+  Matrix X;
+  std::vector<signed char> y;
+  for (int i = 0; i < 90; ++i) {
+    const int label = i % 2 == 0 ? 1 : -1;
+    X.append_row(std::vector<double>{rng.normal(label * 1.2, 1.0),
+                                     rng.normal(0.0, 1.0),
+                                     rng.normal(label * 0.4, 0.8)});
+    y.push_back(static_cast<signed char>(label));
+  }
+  const auto r64 = solve_through_cache(X, y, GramPrecision::kFloat64);
+  const auto r32 = solve_through_cache(X, y, GramPrecision::kFloat32);
+  ASSERT_TRUE(r64.converged);
+  ASSERT_TRUE(r32.converged);
+  EXPECT_NEAR(r32.rho, r64.rho, 1e-3);
+  EXPECT_NEAR(r32.objective, r64.objective, 1e-3);
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    EXPECT_NEAR(r32.alpha[i], r64.alpha[i], 1e-3) << "alpha " << i;
+  }
+}
+
+TEST(GramPrecisionEquivalence, TwentyClassOvoFitAgreesAcrossPrecisions) {
+  const auto ds = make_class_blobs(20, 12, 6, 4.0, 77);
+  const auto probes = make_class_blobs(20, 5, 6, 4.0, 78);
+
+  auto fit_with = [&](GramPrecision precision) {
+    SvmConfig cfg;
+    cfg.kernel = Kernel::rbf(0.1);
+    cfg.c = 10.0;
+    // Pin the dual optimum: at the default 1e-3 KKT window each arm can
+    // legitimately stop at a different interior point, which is solver
+    // slack, not cache-precision error.
+    cfg.smo.tolerance = 1e-8;
+    cfg.cache_precision = precision;
+    SvmClassifier clf(cfg, 5);
+    clf.fit(ds.X, ds.labels, 20);
+    return clf;
+  };
+  const auto clf32 = fit_with(GramPrecision::kFloat32);
+  const auto clf64 = fit_with(GramPrecision::kFloat64);
+
+  // Per-machine solver outputs agree within the SMO tolerance budget.
+  ASSERT_EQ(clf32.num_machines(), clf64.num_machines());
+  for (std::size_t m = 0; m < clf32.num_machines(); ++m) {
+    const auto& a = clf32.machine(m);
+    const auto& b = clf64.machine(m);
+    EXPECT_NEAR(a.rho(), b.rho(), 1e-3) << "machine " << m;
+    ASSERT_EQ(a.num_support_vectors(), b.num_support_vectors())
+        << "machine " << m;
+    const auto ca = a.coefficients();
+    const auto cb = b.coefficients();
+    for (std::size_t s = 0; s < ca.size(); ++s) {
+      EXPECT_NEAR(ca[s], cb[s], 1e-3) << "machine " << m << " coef " << s;
+    }
+  }
+
+  // Labels agree exactly; coupled probabilities within the tolerance.
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto x = probes.X.row(i);
+    EXPECT_EQ(clf32.predict(x), clf64.predict(x)) << "probe " << i;
+    const auto p32 = clf32.predict_proba(x);
+    const auto p64 = clf64.predict_proba(x);
+    ASSERT_EQ(p32.size(), p64.size());
+    for (std::size_t k = 0; k < p32.size(); ++k) {
+      EXPECT_NEAR(p32[k], p64[k], 1e-3) << "probe " << i << " class " << k;
+    }
+  }
+}
+
+TEST(KernelReuse, SharedCacheGridSearchMatchesPerCellRefits) {
+  const auto ds = make_class_blobs(3, 40, 2, 5.0, 91);
+  const std::vector<double> gammas{0.05, 0.5};
+  const std::vector<double> cs{1.0, 10.0, 100.0};
+
+  for (const auto precision :
+       {GramPrecision::kFloat32, GramPrecision::kFloat64}) {
+    SvmGridSearchOptions reuse;
+    reuse.reuse_kernel_cache = true;
+    reuse.cache_precision = precision;
+    SvmGridSearchOptions refit = reuse;
+    refit.reuse_kernel_cache = false;
+
+    const auto with_reuse = svm_grid_search(ds, gammas, cs, reuse);
+    const auto with_refit = svm_grid_search(ds, gammas, cs, refit);
+    ASSERT_EQ(with_reuse.size(), with_refit.size());
+    // Reuse is pure plumbing: the per-γ shared cache hands every cell
+    // the same Gram values a per-cell cache would compute, so the table
+    // is bit-identical — including the best-first tie ordering.
+    for (std::size_t i = 0; i < with_reuse.size(); ++i) {
+      EXPECT_EQ(with_reuse[i].gamma, with_refit[i].gamma) << "point " << i;
+      EXPECT_EQ(with_reuse[i].c, with_refit[i].c) << "point " << i;
+      EXPECT_EQ(with_reuse[i].cv_accuracy, with_refit[i].cv_accuracy)
+          << "point " << i;
+    }
+  }
+}
+
+TEST(KernelReuse, FoldAssignmentIsSharedAcrossGridCells) {
+  // Two sweeps over disjoint single-cell grids with the same seed must
+  // score a shared cell identically: the fold split (and the
+  // standardizer) depend only on (dataset, folds, seed), never on the
+  // cell being evaluated — the hoisted-RNG fix.
+  const auto ds = make_class_blobs(3, 30, 2, 5.0, 92);
+  const std::vector<double> g1{0.5};
+  const std::vector<double> g2{0.05, 0.5};
+  const std::vector<double> cs{10.0};
+  SvmGridSearchOptions opts;
+  const auto small = svm_grid_search(ds, g1, cs, opts);
+  const auto large = svm_grid_search(ds, g2, cs, opts);
+  ASSERT_EQ(small.size(), 1u);
+  for (const auto& pt : large) {
+    if (pt.gamma == 0.5 && pt.c == 10.0) {
+      EXPECT_EQ(pt.cv_accuracy, small.front().cv_accuracy);
+    }
+  }
+}
+
+TEST(KernelReuse, PrecisionArmsProduceComparableTables) {
+  const auto ds = make_class_blobs(3, 40, 2, 5.0, 93);
+  const std::vector<double> gammas{0.05, 0.5};
+  const std::vector<double> cs{1.0, 100.0};
+  SvmGridSearchOptions f32;
+  SvmGridSearchOptions f64;
+  f64.cache_precision = GramPrecision::kFloat64;
+  const auto t32 = svm_grid_search(ds, gammas, cs, f32);
+  const auto t64 = svm_grid_search(ds, gammas, cs, f64);
+  ASSERT_EQ(t32.size(), t64.size());
+  for (const auto& a : t32) {
+    for (const auto& b : t64) {
+      if (a.gamma == b.gamma && a.c == b.c) {
+        EXPECT_NEAR(a.cv_accuracy, b.cv_accuracy, 0.05);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xdmodml::ml

@@ -291,20 +291,29 @@ TEST(SharedGramCache, SlicedRowsMatchDirectComputation) {
                                      rng.normal(-1.0, 0.5)});
   }
   const Kernel kernel = Kernel::rbf(0.3);
-  SharedGramCache cache(X, kernel, 4);  // force evictions
-  for (std::size_t i = 0; i < X.rows(); ++i) {
-    const auto row = cache.row(i);
-    ASSERT_EQ(row->size(), X.rows());
-    for (std::size_t j = 0; j < X.rows(); ++j) {
-      EXPECT_NEAR((*row)[j], kernel(X.row(i), X.row(j)), 1e-12);
+  // The float64 arm reproduces the scalar kernel exactly; the float32
+  // default is only one rounding away (well inside the SMO tolerance).
+  struct Arm {
+    GramPrecision precision;
+    double tol;
+  };
+  for (const auto arm : {Arm{GramPrecision::kFloat64, 1e-12},
+                         Arm{GramPrecision::kFloat32, 1e-6}}) {
+    SharedGramCache cache(X, kernel, 4, arm.precision);  // force evictions
+    for (std::size_t i = 0; i < X.rows(); ++i) {
+      const auto row = cache.row(i);
+      ASSERT_EQ(row->size(), X.rows());
+      for (std::size_t j = 0; j < X.rows(); ++j) {
+        EXPECT_NEAR((*row)[j], kernel(X.row(i), X.row(j)), arm.tol);
+      }
+      EXPECT_NEAR(cache.diagonal(i), kernel(X.row(i), X.row(i)), 1e-12);
     }
-    EXPECT_NEAR(cache.diagonal(i), kernel(X.row(i), X.row(i)), 1e-12);
+    // A row handed out before eviction stays valid afterwards.
+    const auto pinned = cache.row(0);
+    for (std::size_t i = 1; i < X.rows(); ++i) (void)cache.row(i);
+    EXPECT_NEAR((*pinned)[5], kernel(X.row(0), X.row(5)), arm.tol);
+    EXPECT_GT(cache.misses(), 0u);
   }
-  // A row handed out before eviction stays valid afterwards.
-  const auto pinned = cache.row(0);
-  for (std::size_t i = 1; i < X.rows(); ++i) (void)cache.row(i);
-  EXPECT_NEAR((*pinned)[5], kernel(X.row(0), X.row(5)), 1e-12);
-  EXPECT_GT(cache.misses(), 0u);
 }
 
 TEST(KernelRowCache, ComputesAndCaches) {

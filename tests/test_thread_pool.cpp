@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "util/error.hpp"
@@ -111,6 +114,120 @@ TEST(ThreadPool, OnPoolThreadDistinguishesPools) {
     return a.on_pool_thread() && !b.on_pool_thread();
   });
   EXPECT_TRUE(fut.get());
+}
+
+TEST(ThreadPoolRanges, CoversRangeWithoutOverlap) {
+  ThreadPool pool(3);
+  std::vector<int> hits(257, 0);  // deliberately not a multiple of grain
+  pool.parallel_for_ranges(0, hits.size(), 16,
+                           [&](std::size_t lo, std::size_t hi) {
+                             for (std::size_t i = lo; i < hi; ++i) {
+                               hits[i] += 1;
+                             }
+                           });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolRanges, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for_ranges(5, 5, 4,
+                           [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolRanges, SingleElementRunsInlineAsOneChunk) {
+  ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  pool.parallel_for_ranges(7, 8, 16, [&](std::size_t lo, std::size_t hi) {
+    calls.emplace_back(lo, hi);  // inline: no synchronization needed
+  });
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls.front().first, 7u);
+  EXPECT_EQ(calls.front().second, 8u);
+}
+
+TEST(ThreadPoolRanges, RangeSmallerThanWorkersStillCoversAll) {
+  ThreadPool pool(8);  // more workers than elements
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for_ranges(0, hits.size(), 1,
+                           [&](std::size_t lo, std::size_t hi) {
+                             for (std::size_t i = lo; i < hi; ++i) {
+                               hits[i].fetch_add(1);
+                             }
+                           });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolRanges, ChunksRespectGrain) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  const std::size_t n = 100;
+  const std::size_t grain = 12;
+  pool.parallel_for_ranges(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expect_lo = 0;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].first, expect_lo);  // contiguous, no gaps
+    const std::size_t len = chunks[c].second - chunks[c].first;
+    if (c + 1 < chunks.size()) {
+      EXPECT_GE(len, grain);  // only the last chunk may run short
+    }
+    expect_lo = chunks[c].second;
+  }
+  EXPECT_EQ(expect_lo, n);
+}
+
+TEST(ThreadPoolRanges, GrainZeroBehavesAsGrainOne) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(10);
+  pool.parallel_for_ranges(0, hits.size(), 0,
+                           [&](std::size_t lo, std::size_t hi) {
+                             for (std::size_t i = lo; i < hi; ++i) {
+                               hits[i].fetch_add(1);
+                             }
+                           });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolRanges, RejectsReversedRange) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_ranges(5, 4, 1, [](std::size_t, std::size_t) {}),
+      InvalidArgument);
+}
+
+TEST(ThreadPoolRanges, RethrowsChunkException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_ranges(
+                   0, 64, 4,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo >= 32) throw std::runtime_error("bad chunk");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolRanges, NestedCallRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for_ranges(0, 8, 1, [&](std::size_t olo, std::size_t ohi) {
+    for (std::size_t outer = olo; outer < ohi; ++outer) {
+      // From a worker the nested call must execute inline (a queued
+      // chunk could only run on the other workers — none on this pool).
+      pool.parallel_for_ranges(0, 8, 1,
+                               [&](std::size_t ilo, std::size_t ihi) {
+                                 EXPECT_TRUE(pool.on_pool_thread());
+                                 for (std::size_t i = ilo; i < ihi; ++i) {
+                                   hits[outer * 8 + i] += 1;
+                                 }
+                               });
+    }
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(ThreadPool, GlobalPoolIsSingleton) {
