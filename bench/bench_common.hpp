@@ -12,6 +12,9 @@
 // multiplier) for larger runs.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -27,13 +30,52 @@
 
 namespace xdmodml::bench {
 
+/// Result of a repeated timing run (see `time_median_ms`).
+struct TimedRuns {
+  double median_ms = 0.0;
+  std::size_t repeats = 1;
+};
+
+/// Median-of-N wall time with untimed warm-up runs.
+///
+/// Single-shot timings let first-touch page faults, cold caches, and
+/// scheduler noise bias whichever arm runs first — BENCH_smo once
+/// recorded the *warm* Gram sweep slower than the cold one for exactly
+/// that reason.  Benches should time every recorded op through this
+/// helper and pass the returned `repeats` to `record()` so BENCH files
+/// state how each number was measured and stay comparable across PRs.
+template <typename Fn>
+TimedRuns time_median_ms(Fn&& fn, std::size_t repeats = 5,
+                         std::size_t warmup = 1) {
+  if (repeats == 0) repeats = 1;
+  for (std::size_t i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  const double median = (samples.size() % 2 == 1)
+                            ? samples[mid]
+                            : 0.5 * (samples[mid - 1] + samples[mid]);
+  return {median, repeats};
+}
+
 /// Machine-readable timing emitter.  Benches call `record()` for each
 /// measured operation; when a path was supplied via `--json=<path>` (any
 /// argv position) or the XDMODML_BENCH_JSON environment variable, the
 /// collected records are written on destruction (or an explicit
 /// `write()`) as a JSON array of
-///   {"bench": ..., "op": ..., "wall_ms": ..., "n_jobs": ..., "threads": ...}
+///   {"bench": ..., "op": ..., "wall_ms": ..., "n_jobs": ...,
+///    "threads": ..., "repeats": ...}
 /// so the perf trajectory of every PR can be recorded and diffed.
+/// `wall_ms` is the median over `repeats` runs when the bench used
+/// `time_median_ms`; `repeats` is 1 for legacy single-shot timings.
 class BenchJsonRecorder {
  public:
   static BenchJsonRecorder& instance() {
@@ -56,8 +98,9 @@ class BenchJsonRecorder {
   bool enabled() const { return !path_.empty(); }
 
   void record(const std::string& bench, const std::string& op,
-              double wall_ms, std::size_t n_jobs, std::size_t threads) {
-    records_.push_back({bench, op, wall_ms, n_jobs, threads});
+              double wall_ms, std::size_t n_jobs, std::size_t threads,
+              std::size_t repeats = 1) {
+    records_.push_back({bench, op, wall_ms, n_jobs, threads, repeats});
   }
 
   /// Writes and clears the collected records; no-op without a path.
@@ -74,7 +117,8 @@ class BenchJsonRecorder {
       out << "  {\"bench\": \"" << escape(r.bench) << "\", \"op\": \""
           << escape(r.op) << "\", \"wall_ms\": " << r.wall_ms
           << ", \"n_jobs\": " << r.n_jobs << ", \"threads\": " << r.threads
-          << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+          << ", \"repeats\": " << r.repeats << "}"
+          << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "]\n";
     std::printf("\nwrote %zu timing records to %s\n", records_.size(),
@@ -91,6 +135,7 @@ class BenchJsonRecorder {
     double wall_ms;
     std::size_t n_jobs;
     std::size_t threads;
+    std::size_t repeats;
   };
 
   static std::string escape(const std::string& s) {

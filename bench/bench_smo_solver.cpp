@@ -4,34 +4,30 @@
 // machine-readable JSON (BENCH_smo.json by default; override with
 // --json=<path> or XDMODML_BENCH_JSON):
 //   1. kernel-row fill — the pre-PR scalar Kernel::operator() loop vs
-//      the vectorized norm-cached GramRowEngine, cold and warm;
+//      the norm-cached GramRowEngine on the SIMD microkernels (warm),
+//      cold (engine construction included), and with the microkernel
+//      ISA forced to scalar to isolate the AVX2 contribution;
 //   2. one binary RBF SMO solve with shrinking off vs on;
 //   3. the paper's 20-class one-vs-one RBF fit (γ = 0.1, C = 1000) on
 //      the scalar path vs the full engine + shared-cache + shrinking
-//      path — the PR's headline speedup.
-// Sizes honour XDMODML_SCALE like every other bench.
+//      path — the headline speedup.
+// Every op is a median over warmed-up repeats (time_median_ms), and the
+// JSON rows carry the repeat count.  Sizes honour XDMODML_SCALE like
+// every other bench.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
-#include <functional>
 #include <memory>
 
 #include "bench_common.hpp"
 #include "ml/svm.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace xdmodml;
 using namespace xdmodml::bench;
-
-double time_ms(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
 
 /// Balanced, standardized 20-application training set.
 ml::Dataset make_table2_dataset(std::size_t per_class) {
@@ -58,12 +54,15 @@ void run_experiment() {
   const auto ds = make_table2_dataset(per_class);
   const std::size_t n = ds.size();
   std::printf("=== SMO solver / Gram-row engine timings ===\n");
-  std::printf("dataset: %zu jobs, %zu features, %zu classes, %zu threads\n\n",
-              n, ds.num_features(), ds.num_classes(), threads);
+  std::printf(
+      "dataset: %zu jobs, %zu features, %zu classes, %zu threads, "
+      "simd=%s\n\n",
+      n, ds.num_features(), ds.num_classes(), threads,
+      std::string(simd::isa_name(simd::active())).c_str());
 
   // ---- 1. kernel-row fill: scalar vs engine ------------------------
   std::vector<double> row(n);
-  const double scalar_ms = time_ms([&] {
+  const auto scalar_t = time_median_ms([&] {
     for (std::size_t i = 0; i < n; ++i) {
       const auto xi = ds.X.row(i);
       for (std::size_t j = 0; j < n; ++j) {
@@ -72,35 +71,47 @@ void run_experiment() {
       benchmark::DoNotOptimize(row.data());
     }
   });
-  double cold_ms = 0.0;
-  double warm_ms = 0.0;
-  {
-    std::unique_ptr<ml::GramRowEngine> engine;
-    cold_ms = time_ms([&] {
-      engine = std::make_unique<ml::GramRowEngine>(ds.X, kernel);
-      for (std::size_t i = 0; i < n; ++i) {
-        engine->fill_row(i, row);
-        benchmark::DoNotOptimize(row.data());
-      }
-    });
-    warm_ms = time_ms([&] {
-      for (std::size_t i = 0; i < n; ++i) {
-        engine->fill_row(i, row);
-        benchmark::DoNotOptimize(row.data());
-      }
-    });
+  // Cold = engine construction (norm cache pass) + one full sweep.
+  const auto cold_t = time_median_ms([&] {
+    const ml::GramRowEngine engine(ds.X, kernel);
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.fill_row(i, row);
+      benchmark::DoNotOptimize(row.data());
+    }
+  });
+  const ml::GramRowEngine engine(ds.X, kernel);
+  const auto sweep_once = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.fill_row(i, row);
+      benchmark::DoNotOptimize(row.data());
+    }
+  };
+  const auto warm_t = time_median_ms(sweep_once);
+  // Same engine with the microkernels pinned to the scalar table —
+  // isolates the AVX2/FMA contribution from the norm-cache win.
+  TimedRuns nosimd_t;
+  const simd::Isa active_isa = simd::active();
+  if (simd::set_active(simd::Isa::kScalar)) {
+    nosimd_t = time_median_ms(sweep_once);
+    simd::set_active(active_isa);
   }
-  std::printf("full Gram sweep (%zu rows x %zu cols):\n", n, n);
-  std::printf("  scalar kernel loop : %9.2f ms\n", scalar_ms);
-  std::printf("  engine, cold       : %9.2f ms  (%.2fx)\n", cold_ms,
-              scalar_ms / cold_ms);
-  std::printf("  engine, warm norms : %9.2f ms  (%.2fx)\n\n", warm_ms,
-              scalar_ms / warm_ms);
-  json.record("bench_smo_solver", "gram_sweep_scalar", scalar_ms, n, threads);
-  json.record("bench_smo_solver", "gram_sweep_engine_cold", cold_ms, n,
-              threads);
-  json.record("bench_smo_solver", "gram_sweep_engine_warm", warm_ms, n,
-              threads);
+  std::printf("full Gram sweep (%zu rows x %zu cols, median of %zu):\n", n, n,
+              warm_t.repeats);
+  std::printf("  scalar kernel loop   : %9.2f ms\n", scalar_t.median_ms);
+  std::printf("  engine, scalar isa   : %9.2f ms  (%.2fx)\n",
+              nosimd_t.median_ms, scalar_t.median_ms / nosimd_t.median_ms);
+  std::printf("  engine, cold         : %9.2f ms  (%.2fx)\n", cold_t.median_ms,
+              scalar_t.median_ms / cold_t.median_ms);
+  std::printf("  engine, warm norms   : %9.2f ms  (%.2fx)\n\n",
+              warm_t.median_ms, scalar_t.median_ms / warm_t.median_ms);
+  json.record("bench_smo_solver", "gram_sweep_scalar", scalar_t.median_ms, n,
+              threads, scalar_t.repeats);
+  json.record("bench_smo_solver", "gram_sweep_engine_scalar_isa",
+              nosimd_t.median_ms, n, threads, nosimd_t.repeats);
+  json.record("bench_smo_solver", "gram_sweep_engine_cold", cold_t.median_ms,
+              n, threads, cold_t.repeats);
+  json.record("bench_smo_solver", "gram_sweep_engine_warm", warm_t.median_ms,
+              n, threads, warm_t.repeats);
 
   // ---- 2. binary SMO: shrinking off vs on --------------------------
   // The first two classes give a deterministic binary subset.
@@ -132,21 +143,22 @@ void run_experiment() {
   ml::SmoResult res_on;
   ml::SmoConfig cfg_off;
   cfg_off.shrinking = false;
-  const double smo_off_ms =
-      time_ms([&] { res_off = ml::solve_smo(prob, cfg_off); });
+  const auto smo_off_t =
+      time_median_ms([&] { res_off = ml::solve_smo(prob, cfg_off); });
   ml::SmoConfig cfg_on;
   cfg_on.shrinking = true;
-  const double smo_on_ms =
-      time_ms([&] { res_on = ml::solve_smo(prob, cfg_on); });
-  std::printf("binary RBF SMO (%zu rows, C=1000):\n", nb);
+  const auto smo_on_t =
+      time_median_ms([&] { res_on = ml::solve_smo(prob, cfg_on); });
+  std::printf("binary RBF SMO (%zu rows, C=1000, median of %zu):\n", nb,
+              smo_on_t.repeats);
   std::printf("  shrinking off: %9.2f ms  (%zu iterations, obj %.4f)\n",
-              smo_off_ms, res_off.iterations, res_off.objective);
+              smo_off_t.median_ms, res_off.iterations, res_off.objective);
   std::printf("  shrinking on : %9.2f ms  (%zu iterations, obj %.4f)\n\n",
-              smo_on_ms, res_on.iterations, res_on.objective);
-  json.record("bench_smo_solver", "smo_binary_noshrink", smo_off_ms, nb,
-              threads);
-  json.record("bench_smo_solver", "smo_binary_shrink", smo_on_ms, nb,
-              threads);
+              smo_on_t.median_ms, res_on.iterations, res_on.objective);
+  json.record("bench_smo_solver", "smo_binary_noshrink", smo_off_t.median_ms,
+              nb, threads, smo_off_t.repeats);
+  json.record("bench_smo_solver", "smo_binary_shrink", smo_on_t.median_ms, nb,
+              threads, smo_on_t.repeats);
 
   // ---- 3. 20-class one-vs-one fit: scalar path vs engine path ------
   // Probability mode on (the default and the paper's Figures 1–4
@@ -158,30 +170,33 @@ void run_experiment() {
   scalar_cfg.smo.shrinking = false;
   ml::SvmConfig engine_cfg;
 
-  double ovo_scalar_ms = 0.0;
-  {
-    ml::SvmClassifier clf(scalar_cfg);
-    ovo_scalar_ms = time_ms([&] {
-      clf.fit(ds.X, ds.labels, static_cast<int>(ds.num_classes()));
-    });
-  }
-  double ovo_engine_ms = 0.0;
-  {
-    ml::SvmClassifier clf(engine_cfg);
-    ovo_engine_ms = time_ms([&] {
-      clf.fit(ds.X, ds.labels, static_cast<int>(ds.num_classes()));
-    });
-  }
-  std::printf("20-class one-vs-one RBF fit (%zu jobs, %zu machines):\n", n,
-              ds.num_classes() * (ds.num_classes() - 1) / 2);
-  std::printf("  pre-PR scalar path        : %9.2f ms\n", ovo_scalar_ms);
-  std::printf("  engine + shared + shrink  : %9.2f ms\n", ovo_engine_ms);
+  const auto ovo_scalar_t = time_median_ms(
+      [&] {
+        ml::SvmClassifier clf(scalar_cfg);
+        clf.fit(ds.X, ds.labels, static_cast<int>(ds.num_classes()));
+      },
+      3);
+  const auto ovo_engine_t = time_median_ms(
+      [&] {
+        ml::SvmClassifier clf(engine_cfg);
+        clf.fit(ds.X, ds.labels, static_cast<int>(ds.num_classes()));
+      },
+      3);
+  std::printf(
+      "20-class one-vs-one RBF fit (%zu jobs, %zu machines, median of "
+      "%zu):\n",
+      n, ds.num_classes() * (ds.num_classes() - 1) / 2,
+      ovo_engine_t.repeats);
+  std::printf("  pre-PR scalar path        : %9.2f ms\n",
+              ovo_scalar_t.median_ms);
+  std::printf("  engine + shared + shrink  : %9.2f ms\n",
+              ovo_engine_t.median_ms);
   std::printf("  speedup                   : %9.2fx\n\n",
-              ovo_scalar_ms / ovo_engine_ms);
-  json.record("bench_smo_solver", "ovo20_fit_scalar", ovo_scalar_ms, n,
-              threads);
-  json.record("bench_smo_solver", "ovo20_fit_engine", ovo_engine_ms, n,
-              threads);
+              ovo_scalar_t.median_ms / ovo_engine_t.median_ms);
+  json.record("bench_smo_solver", "ovo20_fit_scalar", ovo_scalar_t.median_ms,
+              n, threads, ovo_scalar_t.repeats);
+  json.record("bench_smo_solver", "ovo20_fit_engine", ovo_engine_t.median_ms,
+              n, threads, ovo_engine_t.repeats);
   json.write();
 }
 

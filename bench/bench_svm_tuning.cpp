@@ -17,9 +17,7 @@
 // verifies on every run.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
-#include <functional>
 
 #include "bench_common.hpp"
 #include "ml/cross_validation.hpp"
@@ -29,13 +27,6 @@ namespace {
 
 using namespace xdmodml;
 using namespace xdmodml::bench;
-
-double time_ms(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
 
 bool tables_identical(const std::vector<ml::GridPoint>& a,
                       const std::vector<ml::GridPoint>& b) {
@@ -89,21 +80,22 @@ void run_experiment() {
   std::vector<ml::GridPoint> points_refit;
   std::vector<ml::GridPoint> points_reuse64;
   std::vector<ml::GridPoint> points;
-  const double refit_ms = time_ms([&] {
-    points_refit = ml::svm_grid_search(ds, gammas, cs, refit);
-  });
-  const double reuse64_ms = time_ms([&] {
-    points_reuse64 = ml::svm_grid_search(ds, gammas, cs, reuse64);
-  });
-  const double reuse32_ms = time_ms([&] {
-    points = ml::svm_grid_search(ds, gammas, cs, reuse32);
-  });
+  const auto refit_t = time_median_ms(
+      [&] { points_refit = ml::svm_grid_search(ds, gammas, cs, refit); }, 3);
+  const auto reuse64_t = time_median_ms(
+      [&] { points_reuse64 = ml::svm_grid_search(ds, gammas, cs, reuse64); },
+      3);
+  const auto reuse32_t = time_median_ms(
+      [&] { points = ml::svm_grid_search(ds, gammas, cs, reuse32); }, 3);
+  const double refit_ms = refit_t.median_ms;
+  const double reuse64_ms = reuse64_t.median_ms;
+  const double reuse32_ms = reuse32_t.median_ms;
   json.record("bench_svm_tuning", "sweep_refit_per_cell", refit_ms,
-              ds.size(), threads);
+              ds.size(), threads, refit_t.repeats);
   json.record("bench_svm_tuning", "sweep_reuse_f64", reuse64_ms, ds.size(),
-              threads);
+              threads, reuse64_t.repeats);
   json.record("bench_svm_tuning", "sweep_reuse_f32", reuse32_ms, ds.size(),
-              threads);
+              threads, reuse32_t.repeats);
 
   // Render as a γ-row / C-column heat map.
   std::vector<std::string> header{"gamma \\ C"};

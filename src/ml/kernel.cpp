@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace xdmodml::ml {
@@ -40,14 +41,9 @@ double dot(std::span<const double> a, std::span<const double> b) {
 }
 
 double powi(double base, std::uint64_t exp) {
-  double result = 1.0;
-  double term = base;
-  while (exp > 0) {
-    if (exp & 1u) result *= term;
-    term *= term;
-    exp >>= 1u;
-  }
-  return result;
+  // One shared definition with the SIMD layer so the vectorized
+  // polynomial transform is lane-exact against this scalar reference.
+  return simd::powi(base, exp);
 }
 
 double Kernel::operator()(std::span<const double> a,
@@ -114,40 +110,29 @@ void GramRowEngine::fill_range(std::span<const double> x, double x_sq_norm,
   const std::size_t d = X_->cols();
   const double* base = X_->data().data();
 
-  // Blocked dot-product sweep: each row is a contiguous d-length run, so
-  // the inner loop is a straight multiply-add chain the compiler can
-  // vectorize.  The kernel transform runs as a second pass over the
-  // block, keeping both loops branch-free.
+  // Blocked dot-product sweep: each row is a contiguous d-length run
+  // fed to the SIMD dot microkernel (AVX2/FMA where dispatched, scalar
+  // otherwise).  The kernel transform runs as a second vectorized pass
+  // over the block — for RBF that is where the vectorized exp replaces
+  // the scalar std::exp that used to dominate the sweep.
   constexpr std::size_t kBlock = 256;
   for (std::size_t blk = lo; blk < hi; blk += kBlock) {
     const std::size_t blk_end = std::min(hi, blk + kBlock);
-    for (std::size_t j = blk; j < blk_end; ++j) {
-      const double* xj = base + j * d;
-      double s = 0.0;
-      for (std::size_t c = 0; c < d; ++c) s += x[c] * xj[c];
-      out[j] = s;
-    }
+    const std::size_t blk_len = blk_end - blk;
+    simd::dot_rows(x.data(), base + blk * d, d, blk_len, out + blk);
     switch (kernel_.type) {
       case Kernel::Type::kLinear:
         break;
-      case Kernel::Type::kRbf: {
-        const double g = kernel_.gamma;
-        for (std::size_t j = blk; j < blk_end; ++j) {
-          // ‖x − xⱼ‖² = ‖x‖² + ‖xⱼ‖² − 2 x·xⱼ; round-off can push the
-          // expansion a hair negative for near-identical rows.
-          const double d2 =
-              std::max(0.0, x_sq_norm + sq_norms_[j] - 2.0 * out[j]);
-          out[j] = std::exp(-g * d2);
-        }
+      case Kernel::Type::kRbf:
+        simd::rbf_row_transform(out + blk, sq_norms_.data() + blk, blk_len,
+                                x_sq_norm, kernel_.gamma);
         break;
-      }
       case Kernel::Type::kPolynomial: {
         const double g = kernel_.gamma;
         const double c0 = kernel_.coef0;
         if (integral_degree_) {
-          for (std::size_t j = blk; j < blk_end; ++j) {
-            out[j] = powi(g * out[j] + c0, degree_int_);
-          }
+          simd::poly_row_transform_powi(out + blk, blk_len, g, c0,
+                                        degree_int_);
         } else {
           for (std::size_t j = blk; j < blk_end; ++j) {
             out[j] = std::pow(g * out[j] + c0, kernel_.degree);

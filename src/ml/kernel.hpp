@@ -11,7 +11,10 @@
 //    squared norms once per fit and emits whole kernel rows as a single
 //    blocked matrix–vector sweep over the contiguous Matrix storage,
 //    K[i][j] = exp(−γ(‖xᵢ‖² + ‖xⱼ‖² − 2·xᵢ·xⱼ)) for RBF, fanned out
-//    across the thread pool when the row is long enough.
+//    across the thread pool when the row is long enough.  Both the dot
+//    pass and the kernel-transform pass run on the runtime-dispatched
+//    SIMD microkernels in util/simd.hpp (AVX2/FMA with a vectorized
+//    exp where available; scalar fallback everywhere else).
 #pragma once
 
 #include <cstdint>
@@ -84,7 +87,8 @@ class GramRowEngine {
 
  private:
   /// Dot-product sweep out[j] = x · row_j over rows [lo, hi), then the
-  /// kernel transform in place.  `x_sq_norm` is ‖x‖² (RBF only).
+  /// kernel transform in place, both on the SIMD microkernels.
+  /// `x_sq_norm` is ‖x‖² (RBF only).
   void fill_range(std::span<const double> x, double x_sq_norm,
                   std::size_t lo, std::size_t hi, double* out) const;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/simd.hpp"
+
 namespace xdmodml {
 
 Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
@@ -41,10 +43,7 @@ std::vector<double> Matrix::row_squared_norms() const {
   std::vector<double> norms(rows_, 0.0);
   const double* base = data_.data();
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double* x = base + r * cols_;
-    double s = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) s += x[c] * x[c];
-    norms[r] = s;
+    norms[r] = simd::squared_norm(base + r * cols_, cols_);
   }
   return norms;
 }

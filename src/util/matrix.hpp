@@ -57,8 +57,9 @@ class Matrix {
   void append_row(std::span<const double> values);
 
   /// Squared Euclidean norm of every row (‖xᵢ‖² for i in [0, rows)).
-  /// One pass over the contiguous storage; the Gram-row engine computes
-  /// this once per fit and reuses it for every RBF kernel row.
+  /// One SIMD-microkernel pass over the contiguous storage; the Gram-row
+  /// engine computes this once per fit and reuses it for every RBF
+  /// kernel row.
   std::vector<double> row_squared_norms() const;
 
   /// Returns a new matrix containing the given rows, in order.

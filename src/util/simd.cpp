@@ -1,0 +1,182 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/simd_ops.hpp"
+
+namespace xdmodml::simd {
+
+namespace detail {
+
+namespace {
+
+double dot_scalar(const double* a, const double* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void dot_rows_scalar(const double* x, const double* rows, std::size_t d,
+                     std::size_t n_rows, double* out) {
+  for (std::size_t j = 0; j < n_rows; ++j) {
+    out[j] = dot_scalar(x, rows + j * d, d);
+  }
+}
+
+double squared_norm_scalar(const double* x, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * x[i];
+  return s;
+}
+
+void exp_inplace_scalar(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::exp(x[i]);
+}
+
+void rbf_row_transform_scalar(double* dots, const double* sq_norms,
+                              std::size_t n, double x_sq, double gamma) {
+  for (std::size_t j = 0; j < n; ++j) {
+    dots[j] = std::exp(-gamma * clamped_sq_dist(x_sq, sq_norms[j], dots[j]));
+  }
+}
+
+void poly_row_transform_powi_scalar(double* dots, std::size_t n, double gamma,
+                                    double coef0, std::uint64_t degree) {
+  for (std::size_t j = 0; j < n; ++j) {
+    dots[j] = powi(gamma * dots[j] + coef0, degree);
+  }
+}
+
+}  // namespace
+
+const Ops* scalar_ops() {
+  static constexpr Ops ops{dot_scalar,          dot_rows_scalar,
+                           squared_norm_scalar, exp_inplace_scalar,
+                           rbf_row_transform_scalar,
+                           poly_row_transform_powi_scalar};
+  return &ops;
+}
+
+}  // namespace detail
+
+namespace {
+
+const detail::Ops* ops_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return detail::scalar_ops();
+    case Isa::kAvx2:
+      return detail::avx2_ops();
+  }
+  return detail::scalar_ops();  // unreachable
+}
+
+bool cpu_has_avx2_fma() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// The active table, published once.  Loads are relaxed — the tables are
+// immutable statics, so any table a reader observes is fully formed.
+std::atomic<const detail::Ops*> g_ops{nullptr};
+std::atomic<Isa> g_isa{Isa::kScalar};
+
+Isa choose_startup_isa() {
+  if (const char* env = std::getenv("XDMODML_SIMD")) {
+    if (const auto requested = isa_from_string(env)) {
+      if (available(*requested)) return *requested;
+      std::fprintf(stderr,
+                   "xdmodml: XDMODML_SIMD=%s unavailable on this build/CPU; "
+                   "using %s\n",
+                   env, std::string(isa_name(detect_best())).c_str());
+    }
+  }
+  return detect_best();
+}
+
+const detail::Ops* ops() {
+  const detail::Ops* p = g_ops.load(std::memory_order_relaxed);
+  if (p != nullptr) return p;
+  // Racing first calls all compute the same selection; last store wins
+  // with an identical value.
+  const Isa isa = choose_startup_isa();
+  p = ops_for(isa);
+  g_isa.store(isa, std::memory_order_relaxed);
+  g_ops.store(p, std::memory_order_relaxed);
+  return p;
+}
+
+}  // namespace
+
+Isa detect_best() {
+  if (detail::avx2_ops() != nullptr && cpu_has_avx2_fma()) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+bool available(Isa isa) {
+  if (isa == Isa::kAvx2) {
+    return detail::avx2_ops() != nullptr && cpu_has_avx2_fma();
+  }
+  return true;
+}
+
+Isa active() {
+  ops();  // force startup selection
+  return g_isa.load(std::memory_order_relaxed);
+}
+
+bool set_active(Isa isa) {
+  if (!available(isa)) return false;
+  g_isa.store(isa, std::memory_order_relaxed);
+  g_ops.store(ops_for(isa), std::memory_order_relaxed);
+  return true;
+}
+
+std::string_view isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "?";  // unreachable
+}
+
+std::optional<Isa> isa_from_string(std::string_view name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2") return Isa::kAvx2;
+  return std::nullopt;
+}
+
+double dot(const double* a, const double* b, std::size_t n) {
+  return ops()->dot(a, b, n);
+}
+
+void dot_rows(const double* x, const double* rows, std::size_t d,
+              std::size_t n_rows, double* out) {
+  ops()->dot_rows(x, rows, d, n_rows, out);
+}
+
+double squared_norm(const double* x, std::size_t n) {
+  return ops()->squared_norm(x, n);
+}
+
+void exp_inplace(double* x, std::size_t n) { ops()->exp_inplace(x, n); }
+
+void rbf_row_transform(double* dots, const double* sq_norms, std::size_t n,
+                       double x_sq, double gamma) {
+  ops()->rbf_row_transform(dots, sq_norms, n, x_sq, gamma);
+}
+
+void poly_row_transform_powi(double* dots, std::size_t n, double gamma,
+                             double coef0, std::uint64_t degree) {
+  ops()->poly_row_transform_powi(dots, n, gamma, coef0, degree);
+}
+
+}  // namespace xdmodml::simd

@@ -132,7 +132,7 @@ TEST_F(BenchJsonTest, EmitsValidJsonWithRequiredKeys) {
   BenchJsonRecorder recorder;
   recorder.set_path(path_);
   ASSERT_TRUE(recorder.enabled());
-  recorder.record("bench_svm_tuning", "sweep_reuse", 123.5, 1600, 4);
+  recorder.record("bench_svm_tuning", "sweep_reuse", 123.5, 1600, 4, 5);
   recorder.record("bench_svm_tuning", "sweep_refit", 250.0, 1600, 4);
   recorder.write();
 
@@ -140,11 +140,29 @@ TEST_F(BenchJsonTest, EmitsValidJsonWithRequiredKeys) {
   ASSERT_FALSE(text.empty());
   EXPECT_TRUE(JsonChecker(text).valid()) << text;
   for (const char* key : {"\"bench\"", "\"op\"", "\"wall_ms\"", "\"n_jobs\"",
-                          "\"threads\""}) {
+                          "\"threads\"", "\"repeats\""}) {
     EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
   }
   EXPECT_NE(text.find("\"sweep_reuse\""), std::string::npos);
   EXPECT_NE(text.find("123.5"), std::string::npos);
+  // Median-of-N rows carry their repeat count; legacy single-shot
+  // records default to 1.
+  EXPECT_NE(text.find("\"repeats\": 5"), std::string::npos);
+  EXPECT_NE(text.find("\"repeats\": 1"), std::string::npos);
+}
+
+TEST(TimeMedianMs, MedianOverRepeatsAndRepeatCountReported) {
+  int calls = 0;
+  const auto timed = time_median_ms([&] { ++calls; }, 5, 2);
+  EXPECT_EQ(calls, 7);  // 2 warm-up + 5 timed
+  EXPECT_EQ(timed.repeats, 5u);
+  EXPECT_GE(timed.median_ms, 0.0);
+
+  // repeats == 0 is clamped to one timed run.
+  calls = 0;
+  const auto single = time_median_ms([&] { ++calls; }, 0, 0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(single.repeats, 1u);
 }
 
 TEST_F(BenchJsonTest, EscapesQuotesAndBackslashes) {

@@ -1,0 +1,301 @@
+// SIMD microkernel layer: dispatch plumbing, the vectorized exp's
+// accuracy contract (ULP-bounded vs std::exp, exact underflow-to-zero,
+// NaN/Inf propagation), and SIMD-vs-scalar equivalence of every kernel
+// row path — including remainder lanes when sizes are not multiples of
+// the vector width.
+//
+// AVX2-specific tests GTEST_SKIP on builds/CPUs without the AVX2 table,
+// so the suite is green under XDMODML_SIMD=OFF and on non-x86 hosts.
+#include "util/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ml/kernel.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xdmodml {
+namespace {
+
+// Distance between two finite same-sign doubles in units in the last
+// place: consecutive positive doubles have consecutive bit patterns.
+std::uint64_t ulp_distance(double a, double b) {
+  const auto ia = std::bit_cast<std::int64_t>(a);
+  const auto ib = std::bit_cast<std::int64_t>(b);
+  return static_cast<std::uint64_t>(ia > ib ? ia - ib : ib - ia);
+}
+
+// Restores the startup ISA after each test so forcing scalar/AVX2 here
+// cannot leak into other tests in the binary.
+class SimdTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = simd::active(); }
+  void TearDown() override { simd::set_active(saved_); }
+
+  static bool avx2() { return simd::available(simd::Isa::kAvx2); }
+
+  simd::Isa saved_ = simd::Isa::kScalar;
+};
+
+TEST_F(SimdTest, DispatchPlumbing) {
+  EXPECT_TRUE(simd::available(simd::Isa::kScalar));
+  ASSERT_TRUE(simd::set_active(simd::Isa::kScalar));
+  EXPECT_EQ(simd::active(), simd::Isa::kScalar);
+  EXPECT_EQ(simd::isa_name(simd::Isa::kScalar), "scalar");
+  EXPECT_EQ(simd::isa_name(simd::Isa::kAvx2), "avx2");
+  EXPECT_EQ(simd::isa_from_string("scalar"), simd::Isa::kScalar);
+  EXPECT_EQ(simd::isa_from_string("avx2"), simd::Isa::kAvx2);
+  EXPECT_EQ(simd::isa_from_string("auto"), std::nullopt);
+  EXPECT_EQ(simd::isa_from_string("sse9"), std::nullopt);
+  // detect_best is what auto resolves to and must itself be available.
+  EXPECT_TRUE(simd::available(simd::detect_best()));
+  if (avx2()) {
+    ASSERT_TRUE(simd::set_active(simd::Isa::kAvx2));
+    EXPECT_EQ(simd::active(), simd::Isa::kAvx2);
+  }
+}
+
+TEST_F(SimdTest, ScalarExpMatchesStdExp) {
+  ASSERT_TRUE(simd::set_active(simd::Isa::kScalar));
+  std::vector<double> xs{-5.0, -0.5, 0.0, 1.0, 3.25};
+  auto expected = xs;
+  for (auto& v : expected) v = std::exp(v);
+  simd::exp_inplace(xs.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(xs[i], expected[i]);
+  }
+}
+
+// ULP sweep over the primary domain [-708.39, 709]: dense deterministic
+// grid plus uniform random draws, with extra density on the RBF band
+// (-50, 0] the SVM actually hits.
+TEST_F(SimdTest, VectorExpUlpBoundOverFullDomain) {
+  if (!avx2()) GTEST_SKIP() << "AVX2 table unavailable";
+  ASSERT_TRUE(simd::set_active(simd::Isa::kAvx2));
+  std::vector<double> xs;
+  constexpr std::size_t kGrid = 200000;
+  constexpr double kLo = -708.39;
+  constexpr double kHi = 709.0;
+  xs.reserve(kGrid + 120000);
+  for (std::size_t i = 0; i < kGrid; ++i) {
+    xs.push_back(kLo + (kHi - kLo) * static_cast<double>(i) /
+                          static_cast<double>(kGrid - 1));
+  }
+  Rng rng(20260808);
+  for (std::size_t i = 0; i < 80000; ++i) xs.push_back(rng.uniform(kLo, kHi));
+  for (std::size_t i = 0; i < 40000; ++i) xs.push_back(rng.uniform(-50.0, 0.0));
+
+  auto got = xs;
+  simd::exp_inplace(got.data(), got.size());
+  std::uint64_t max_ulp = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double expected = std::exp(xs[i]);
+    const std::uint64_t ulp = ulp_distance(got[i], expected);
+    ASSERT_LE(ulp, 4u) << "x=" << xs[i] << " got=" << got[i]
+                       << " expected=" << expected;
+    max_ulp = std::max(max_ulp, ulp);
+  }
+  // The Cephes polynomial is good to ~2 ULP; a regression past 4 means
+  // the range reduction or the 2^n scaling broke.
+  EXPECT_LE(max_ulp, 4u);
+}
+
+TEST_F(SimdTest, VectorExpUnderflowsToExactZero) {
+  if (!avx2()) GTEST_SKIP() << "AVX2 table unavailable";
+  ASSERT_TRUE(simd::set_active(simd::Isa::kAvx2));
+  std::vector<double> xs{-708.4, -709.0, -745.0, -1.0e5, -1.0e300,
+                         -std::numeric_limits<double>::infinity()};
+  simd::exp_inplace(xs.data(), xs.size());
+  for (const double v : xs) {
+    EXPECT_EQ(v, 0.0);
+    EXPECT_FALSE(std::signbit(v)) << "underflow must be +0";
+  }
+}
+
+TEST_F(SimdTest, VectorExpSpecialValues) {
+  if (!avx2()) GTEST_SKIP() << "AVX2 table unavailable";
+  ASSERT_TRUE(simd::set_active(simd::Isa::kAvx2));
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> xs{std::numeric_limits<double>::quiet_NaN(),
+                         inf,
+                         0.0,
+                         -0.0,
+                         710.0,
+                         1.0e300};
+  simd::exp_inplace(xs.data(), xs.size());
+  EXPECT_TRUE(std::isnan(xs[0]));
+  EXPECT_EQ(xs[1], inf);
+  EXPECT_EQ(xs[2], 1.0);
+  EXPECT_EQ(xs[3], 1.0);
+  EXPECT_EQ(xs[4], inf);  // saturates above the 709.0 contract bound
+  EXPECT_EQ(xs[5], inf);
+}
+
+// Remainder-lane handling: every length 1..2·kMaxLanes+3 must agree
+// with std::exp, not just multiples of the vector width.
+TEST_F(SimdTest, VectorExpRemainderLanes) {
+  if (!avx2()) GTEST_SKIP() << "AVX2 table unavailable";
+  ASSERT_TRUE(simd::set_active(simd::Isa::kAvx2));
+  Rng rng(7);
+  for (std::size_t n = 1; n <= 2 * simd::kMaxLanes + 3; ++n) {
+    std::vector<double> xs(n);
+    for (auto& v : xs) v = rng.uniform(-40.0, 2.0);
+    auto got = xs;
+    simd::exp_inplace(got.data(), got.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_LE(ulp_distance(got[i], std::exp(xs[i])), 4u)
+          << "n=" << n << " lane " << i;
+    }
+  }
+}
+
+TEST_F(SimdTest, DotAndNormMatchScalarAcrossLengths) {
+  if (!avx2()) GTEST_SKIP() << "AVX2 table unavailable";
+  Rng rng(31);
+  for (std::size_t n = 1; n <= 67; ++n) {
+    std::vector<double> a(n);
+    std::vector<double> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.normal(0.0, 2.0);
+      b[i] = rng.normal(0.0, 2.0);
+    }
+    ASSERT_TRUE(simd::set_active(simd::Isa::kScalar));
+    const double dot_s = simd::dot(a.data(), b.data(), n);
+    const double norm_s = simd::squared_norm(a.data(), n);
+    ASSERT_TRUE(simd::set_active(simd::Isa::kAvx2));
+    EXPECT_NEAR(simd::dot(a.data(), b.data(), n), dot_s, 1e-12) << "n=" << n;
+    EXPECT_NEAR(simd::squared_norm(a.data(), n), norm_s, 1e-12) << "n=" << n;
+  }
+}
+
+TEST_F(SimdTest, DotRowsMatchesPerRowDot) {
+  if (!avx2()) GTEST_SKIP() << "AVX2 table unavailable";
+  Rng rng(17);
+  // 11 rows of width 13: a 3-row block remainder and a 5-lane column
+  // remainder in one shot.
+  const std::size_t d = 13;
+  const std::size_t n_rows = 11;
+  std::vector<double> rows(n_rows * d);
+  std::vector<double> x(d);
+  for (auto& v : rows) v = rng.normal(0.0, 2.0);
+  for (auto& v : x) v = rng.normal(0.0, 2.0);
+  ASSERT_TRUE(simd::set_active(simd::Isa::kScalar));
+  std::vector<double> expected(n_rows);
+  simd::dot_rows(x.data(), rows.data(), d, n_rows, expected.data());
+  for (std::size_t j = 0; j < n_rows; ++j) {
+    EXPECT_DOUBLE_EQ(expected[j], simd::dot(x.data(), rows.data() + j * d, d));
+  }
+  ASSERT_TRUE(simd::set_active(simd::Isa::kAvx2));
+  std::vector<double> got(n_rows);
+  simd::dot_rows(x.data(), rows.data(), d, n_rows, got.data());
+  for (std::size_t j = 0; j < n_rows; ++j) {
+    EXPECT_NEAR(got[j], expected[j], 1e-12) << "row " << j;
+  }
+}
+
+TEST_F(SimdTest, RowSquaredNormsIsaIndependent) {
+  if (!avx2()) GTEST_SKIP() << "AVX2 table unavailable";
+  Rng rng(13);
+  Matrix X;
+  for (int i = 0; i < 9; ++i) {  // 9 rows x 13 cols: remainders everywhere
+    std::vector<double> row(13);
+    for (auto& v : row) v = rng.normal(0.0, 3.0);
+    X.append_row(row);
+  }
+  ASSERT_TRUE(simd::set_active(simd::Isa::kScalar));
+  const auto scalar = X.row_squared_norms();
+  ASSERT_TRUE(simd::set_active(simd::Isa::kAvx2));
+  const auto vec = X.row_squared_norms();
+  ASSERT_EQ(scalar.size(), vec.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_NEAR(vec[i], scalar[i], 1e-12) << "row " << i;
+  }
+}
+
+TEST_F(SimdTest, PolyPowiTransformLaneExactAgainstScalar) {
+  if (!avx2()) GTEST_SKIP() << "AVX2 table unavailable";
+  Rng rng(41);
+  // 11 dots: two full vectors plus a 3-lane remainder.
+  std::vector<double> dots(11);
+  for (auto& v : dots) v = rng.uniform(-2.0, 2.0);
+  auto scalar = dots;
+  auto vec = dots;
+  ASSERT_TRUE(simd::set_active(simd::Isa::kScalar));
+  simd::poly_row_transform_powi(scalar.data(), scalar.size(), 0.5, 1.0, 3);
+  ASSERT_TRUE(simd::set_active(simd::Isa::kAvx2));
+  simd::poly_row_transform_powi(vec.data(), vec.size(), 0.5, 1.0, 3);
+  for (std::size_t i = 0; i < dots.size(); ++i) {
+    // Same base arithmetic and the same squaring order as simd::powi —
+    // vector lanes reproduce the scalar path to the last bit.
+    EXPECT_DOUBLE_EQ(vec[i], scalar[i]) << "lane " << i;
+  }
+}
+
+TEST_F(SimdTest, ClampedSqDistFloorsRoundOff) {
+  // Identical vectors: expansion can round below zero; the shared helper
+  // must floor at exactly 0 so exp(−γ·d²) stays exactly 1.
+  EXPECT_EQ(simd::clamped_sq_dist(2.0, 2.0, 2.0 + 1e-16), 0.0);
+  EXPECT_EQ(simd::clamped_sq_dist(25.0, 1.0, 2.0), 25.0 + 1.0 - 4.0);
+}
+
+// 1e-12, relative for kernel values above 1 (the AVX2 dot reduction
+// orders partial sums differently, so big polynomial values agree to
+// ULPs rather than an absolute 1e-12).
+double row_tolerance(double expected) {
+  return 1e-12 * std::max(1.0, std::abs(expected));
+}
+
+// The property the SMO solver rests on: fill_range output must be
+// ISA-independent to 1e-12 (relative above 1) for every kernel family,
+// with sizes chosen so both the dot sweep (cols % 8 != 0) and the
+// transform pass (rows % kMaxLanes != 0) exercise remainder lanes.
+TEST_F(SimdTest, GramRowsAgreeAcrossIsasAllKernels) {
+  if (!avx2()) GTEST_SKIP() << "AVX2 table unavailable";
+  Rng rng(99);
+  Matrix X;
+  for (int i = 0; i < 37; ++i) {
+    std::vector<double> row(13);
+    for (auto& v : row) v = rng.normal(0.0, 2.0);
+    X.append_row(row);
+  }
+  X.append_row(X.row(5));  // duplicate row → clamped d² = 0 case
+
+  const std::vector<ml::Kernel> kernels{
+      ml::Kernel::linear(), ml::Kernel::rbf(0.1),
+      ml::Kernel::polynomial(3.0, 0.5, 1.0),
+      ml::Kernel::polynomial(2.5, 0.1, 30.0)};
+  const std::vector<double> probe(13, 0.25);
+  for (const auto& kernel : kernels) {
+    const ml::GramRowEngine engine(X, kernel);
+    std::vector<double> scalar_row(X.rows());
+    std::vector<double> vec_row(X.rows());
+    for (std::size_t i = 0; i < X.rows(); ++i) {
+      ASSERT_TRUE(simd::set_active(simd::Isa::kScalar));
+      engine.fill_row(i, scalar_row);
+      ASSERT_TRUE(simd::set_active(simd::Isa::kAvx2));
+      engine.fill_row(i, vec_row);
+      for (std::size_t j = 0; j < X.rows(); ++j) {
+        ASSERT_NEAR(vec_row[j], scalar_row[j], row_tolerance(scalar_row[j]))
+            << kernel.name() << " row " << i << " col " << j;
+      }
+    }
+    ASSERT_TRUE(simd::set_active(simd::Isa::kScalar));
+    engine.fill_row_for(probe, scalar_row);
+    ASSERT_TRUE(simd::set_active(simd::Isa::kAvx2));
+    engine.fill_row_for(probe, vec_row);
+    for (std::size_t j = 0; j < X.rows(); ++j) {
+      ASSERT_NEAR(vec_row[j], scalar_row[j], row_tolerance(scalar_row[j]))
+          << kernel.name() << " probe col " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xdmodml
