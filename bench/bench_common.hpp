@@ -24,6 +24,7 @@
 #include "core/job_classifier.hpp"
 #include "ml/metrics.hpp"
 #include "supremm/dataset_builder.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "workload/dataset_helpers.hpp"
 #include "workload/generator.hpp"
@@ -83,24 +84,46 @@ class BenchJsonRecorder {
     return recorder;
   }
 
-  /// Scans argv for --json=<path>; falls back to XDMODML_BENCH_JSON.
+  /// Scans argv for --json=<path> and --metrics; falls back to the
+  /// XDMODML_BENCH_JSON / XDMODML_METRICS environment variables.
+  /// --metrics turns the observability registry on (obs::set_enabled)
+  /// and appends its JSON snapshot to every recorded row, so a
+  /// BENCH_*.json trajectory can correlate wall time with cache hit
+  /// rates, SMO iteration counts and latency histograms.
   void parse_args(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg.rfind("--json=", 0) == 0) path_ = arg.substr(7);
+      if (arg == "--metrics") metrics_ = true;
     }
     if (path_.empty()) {
       if (const char* env = std::getenv("XDMODML_BENCH_JSON")) path_ = env;
     }
+    if (obs::enabled()) metrics_ = true;  // XDMODML_METRICS env toggle
+    if (metrics_) obs::set_enabled(true);
   }
 
   void set_path(std::string path) { path_ = std::move(path); }
   bool enabled() const { return !path_.empty(); }
+  /// True when rows carry a metrics snapshot.
+  bool metrics() const { return metrics_; }
+  void set_metrics(bool on) {
+    metrics_ = on;
+    if (on) obs::set_enabled(true);
+  }
 
   void record(const std::string& bench, const std::string& op,
               double wall_ms, std::size_t n_jobs, std::size_t threads,
               std::size_t repeats = 1) {
-    records_.push_back({bench, op, wall_ms, n_jobs, threads, repeats});
+    // Snapshot at record time: each row sees the registry state right
+    // after its op ran, so deltas between rows attribute cache/solver
+    // behaviour to individual arms.
+    std::string snapshot;
+    if (metrics_) {
+      snapshot = xdmodml::obs::MetricsRegistry::instance().to_json();
+    }
+    records_.push_back(
+        {bench, op, wall_ms, n_jobs, threads, repeats, std::move(snapshot)});
   }
 
   /// Writes and clears the collected records; no-op without a path.
@@ -117,8 +140,10 @@ class BenchJsonRecorder {
       out << "  {\"bench\": \"" << escape(r.bench) << "\", \"op\": \""
           << escape(r.op) << "\", \"wall_ms\": " << r.wall_ms
           << ", \"n_jobs\": " << r.n_jobs << ", \"threads\": " << r.threads
-          << ", \"repeats\": " << r.repeats << "}"
-          << (i + 1 < records_.size() ? "," : "") << "\n";
+          << ", \"repeats\": " << r.repeats;
+      // Already a JSON object — embedded verbatim, never escaped.
+      if (!r.metrics_json.empty()) out << ", \"metrics\": " << r.metrics_json;
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "]\n";
     std::printf("\nwrote %zu timing records to %s\n", records_.size(),
@@ -136,6 +161,7 @@ class BenchJsonRecorder {
     std::size_t n_jobs;
     std::size_t threads;
     std::size_t repeats;
+    std::string metrics_json;  ///< registry snapshot; empty = no --metrics
   };
 
   static std::string escape(const std::string& s) {
@@ -149,6 +175,7 @@ class BenchJsonRecorder {
   }
 
   std::string path_;
+  bool metrics_ = false;
   std::vector<Record> records_;
 };
 

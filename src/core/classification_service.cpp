@@ -3,10 +3,37 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace xdmodml::core {
+
+namespace {
+
+/// Serving-path metrics, registered once per process.
+struct ServiceMetrics {
+  obs::Counter& identified =
+      obs::MetricsRegistry::instance().counter("service.identified");
+  obs::Counter& attributed =
+      obs::MetricsRegistry::instance().counter("service.attributed");
+  obs::Counter& unresolved =
+      obs::MetricsRegistry::instance().counter("service.unresolved");
+  obs::Histogram& classify_ns =
+      obs::MetricsRegistry::instance().histogram("service.classify_ns", "ns");
+  obs::Histogram& commit_ns =
+      obs::MetricsRegistry::instance().histogram("service.commit_ns", "ns");
+  obs::Histogram& batch_ns = obs::MetricsRegistry::instance().histogram(
+      "service.ingest_batch_ns", "ns");
+
+  static ServiceMetrics& get() {
+    static ServiceMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 ClassificationService::ClassificationService(
     std::shared_ptr<const JobClassifier> classifier, double threshold)
@@ -19,6 +46,9 @@ ClassificationService::ClassificationService(
 
 ClassificationService::IngestResult ClassificationService::classify(
     const supremm::JobSummary& job) const {
+  // Unnamed span: per-job latency lands in the histogram without
+  // flooding the trace ring (batches classify thousands of jobs).
+  obs::ScopedTimer timer(ServiceMetrics::get().classify_ns);
   IngestResult result;
   if (job.label_source == supremm::LabelSource::kIdentified) {
     result.outcome = Outcome::kIdentified;
@@ -33,13 +63,17 @@ ClassificationService::IngestResult ClassificationService::classify(
 
 void ClassificationService::commit(supremm::JobSummary job,
                                    const IngestResult& result) {
+  auto& metrics = ServiceMetrics::get();
+  obs::ScopedTimer timer(metrics.commit_ns);
   std::lock_guard lock(mutex_);
   switch (result.outcome) {
     case Outcome::kIdentified:
       ++stats_.identified;
+      metrics.identified.inc();
       break;
     case Outcome::kAttributed: {
       ++stats_.attributed;
+      metrics.attributed.inc();
       // Store the attribution so warehouse breakdowns include it; the
       // label_source still says where the label came from.
       job.application = result.prediction.class_name;
@@ -50,6 +84,7 @@ void ClassificationService::commit(supremm::JobSummary job,
     }
     case Outcome::kUnresolved:
       ++stats_.unresolved;
+      metrics.unresolved.inc();
       break;
   }
   warehouse_.ingest(std::move(job));
@@ -64,6 +99,7 @@ ClassificationService::IngestResult ClassificationService::ingest(
 
 std::vector<ClassificationService::IngestResult>
 ClassificationService::ingest_batch(std::vector<supremm::JobSummary> jobs) {
+  obs::ScopedTimer span(ServiceMetrics::get().batch_ns, "service.ingest_batch");
   std::vector<IngestResult> results(jobs.size());
   // Phase 1: classify every job in parallel — the classifier is
   // immutable, so this needs no lock and dominates the ingest cost.
@@ -102,6 +138,13 @@ std::string ClassificationService::report() const {
       table.add_row({app, format_double(hours, 1)});
     }
     os << table.render();
+  }
+  if (obs::enabled()) {
+    // The registry snapshot (cache hit rates, SMO iterations, latency
+    // histograms) rides along so one report() answers both "what did
+    // the service decide" and "how is the machinery behaving".
+    os << "\n-- metrics snapshot --\n"
+       << obs::MetricsRegistry::instance().to_text();
   }
   return os.str();
 }

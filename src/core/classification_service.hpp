@@ -11,8 +11,15 @@
 // mutex.  Several threads may therefore call `ingest` / `ingest_batch`
 // on the *same* service concurrently and the tallies stay exact.
 // Accessors that return snapshots (`stats`, `attributed_cpu_hours`,
-// `report`) take the same lock; `warehouse()` hands out a reference and
-// must only be used once ingest traffic has quiesced.
+// `report`) take the same lock.  `warehouse()` returns an RAII view
+// that *holds* that lock, so warehouse reads can never race ingest —
+// the old unsynchronized reference escape, guarded only by a comment,
+// is gone from the public API.
+//
+// Observability: ingest outcomes, classify/commit latency histograms
+// and a batch-ingest span are recorded through util/metrics.hpp /
+// util/trace.hpp; `report()` embeds the registry snapshot when the
+// XDMODML_METRICS toggle is on.
 #pragma once
 
 #include <cstddef>
@@ -62,9 +69,33 @@ class ClassificationService {
   std::vector<IngestResult> ingest_batch(
       std::vector<supremm::JobSummary> jobs);
 
-  /// Warehouse access is unsynchronized — only read it when no other
-  /// thread is ingesting.
-  const xdmod::Warehouse& warehouse() const { return warehouse_; }
+  /// Read-only warehouse view holding the service mutex for its
+  /// lifetime: ingest blocks while a view is alive, so queries see a
+  /// consistent warehouse and pointers returned by `query()` stay
+  /// valid until the view is released.  Keep views short-lived, and
+  /// never call `ingest` / `ingest_batch` / `stats` / `report` from
+  /// the holding thread while one is alive (the mutex is not
+  /// recursive).
+  class WarehouseView {
+   public:
+    const xdmod::Warehouse& operator*() const { return *warehouse_; }
+    const xdmod::Warehouse* operator->() const { return warehouse_; }
+
+   private:
+    friend class ClassificationService;
+    WarehouseView(std::unique_lock<std::mutex> lock,
+                  const xdmod::Warehouse* warehouse)
+        : lock_(std::move(lock)), warehouse_(warehouse) {}
+
+    std::unique_lock<std::mutex> lock_;
+    const xdmod::Warehouse* warehouse_;
+  };
+
+  /// Locked const view; the only warehouse accessor.  The mutable
+  /// member stays private — ingest is the one writer.
+  WarehouseView warehouse() const {
+    return WarehouseView(std::unique_lock(mutex_), &warehouse_);
+  }
   const JobClassifier& classifier() const { return *classifier_; }
   double threshold() const { return threshold_; }
 

@@ -5,7 +5,9 @@
 
 #include "ml/metrics.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace xdmodml::ml {
 
@@ -132,6 +134,12 @@ std::vector<GridPoint> svm_grid_search(const Dataset& ds,
           xs, Kernel::rbf(gamma), capacity, options.cache_precision);
     }
     for (const double c : cs) {
+      auto& registry = obs::MetricsRegistry::instance();
+      static auto& cells = registry.counter("grid.cells");
+      static auto& cell_hits = registry.counter("grid.cache_hits");
+      static auto& cell_misses = registry.counter("grid.cache_misses");
+      static auto& cell_hist = registry.histogram("grid.cell_ns", "ns");
+      obs::ScopedTimer cell_timer(cell_hist, "grid.cell");
       RunningStats stats;
       for (std::size_t f = 0; f < options.folds; ++f) {
         const auto& fr = fold_rows[f];
@@ -149,12 +157,22 @@ std::vector<GridPoint> svm_grid_search(const Dataset& ds,
               xs, Kernel::rbf(gamma), capacity, options.cache_precision);
         }
         SharedGramCache& active = fresh ? *fresh : *cache;
+        const auto before = active.stats();
         SvmClassifier model(config, options.seed);
         model.fit_shared(xs.gather_rows(fr.train), fr.train_y, num_classes,
                          &active, fr.train);
         const auto predictions = model.predict_shared(active, fr.test);
         stats.add(accuracy(fr.test_y, predictions));
+        // Per-fold delta against the active cache: in the reuse arm the
+        // cache persists across cells, so totals need differencing; in
+        // the refit arm `before` is all zeros.  The ratio of these two
+        // counters is the sweep's cache-reuse ratio (see `derived`
+        // fields in the metrics exporters).
+        const auto after = active.stats();
+        cell_hits.inc(after.hits - before.hits);
+        cell_misses.inc(after.misses - before.misses);
       }
+      cells.inc();
       points.push_back({gamma, c, stats.mean()});
     }
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
@@ -171,6 +172,19 @@ void GramRowEngine::fill_row_for(std::span<const double> x,
   XDMODML_CHECK(x.size() == X_->cols(),
                 "GramRowEngine probe width mismatch");
   XDMODML_CHECK(out.size() >= n, "GramRowEngine output row too short");
+  {
+    // Per-row granularity (one fill = n kernel values), so these adds
+    // are invisible next to the sweep itself.  The ISA split feeds the
+    // bench trajectories: SIMD-vs-scalar dispatch mix per run.
+    auto& registry = obs::MetricsRegistry::instance();
+    static auto& rows_filled = registry.counter("gram_rows.filled");
+    static auto& elements = registry.counter("gram_rows.elements");
+    static auto& fills_avx2 = registry.counter("gram_rows.fill_avx2");
+    static auto& fills_scalar = registry.counter("gram_rows.fill_scalar");
+    rows_filled.inc();
+    elements.inc(n);
+    (simd::active() == simd::Isa::kAvx2 ? fills_avx2 : fills_scalar).inc();
+  }
   double x_sq = 0.0;
   if (kernel_.type == Kernel::Type::kRbf) {
     for (const double v : x) x_sq += v * v;

@@ -6,8 +6,33 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace xdmodml::ml {
+
+namespace {
+
+/// Process-wide shared-cache metrics, aggregated over every cache
+/// instance (grid sweeps create one per γ).  Looked up once.
+struct GramCacheMetrics {
+  obs::Counter& hits =
+      obs::MetricsRegistry::instance().counter("gram_cache.hits");
+  obs::Counter& misses =
+      obs::MetricsRegistry::instance().counter("gram_cache.misses");
+  obs::Counter& evictions =
+      obs::MetricsRegistry::instance().counter("gram_cache.evictions");
+  obs::Gauge& resident_rows =
+      obs::MetricsRegistry::instance().gauge("gram_cache.resident_rows");
+  obs::Gauge& resident_bytes =
+      obs::MetricsRegistry::instance().gauge("gram_cache.resident_bytes");
+
+  static GramCacheMetrics& get() {
+    static GramCacheMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 KernelRowCache::KernelRowCache(
     std::size_t n, std::size_t capacity,
@@ -76,6 +101,13 @@ SharedGramCache::SharedGramCache(const Matrix& X, Kernel kernel,
   for (std::size_t i = 0; i < X.rows(); ++i) diag_[i] = engine_.diagonal(i);
 }
 
+SharedGramCache::~SharedGramCache() {
+  auto& metrics = GramCacheMetrics::get();
+  metrics.resident_rows.add(-static_cast<std::int64_t>(rows_.size()));
+  metrics.resident_bytes.add(
+      -static_cast<std::int64_t>(rows_.size() * row_bytes()));
+}
+
 std::size_t SharedGramCache::row_bytes() const {
   return engine_.rows() * (precision_ == GramPrecision::kFloat32
                                ? sizeof(float)
@@ -94,15 +126,18 @@ std::size_t SharedGramCache::rows_for_budget(std::size_t n,
 
 SharedGramCache::RowPtr SharedGramCache::row(std::size_t i) {
   XDMODML_CHECK(i < engine_.rows(), "shared kernel row index out of range");
+  auto& metrics = GramCacheMetrics::get();
   {
     std::lock_guard lock(mutex_);
     const auto it = rows_.find(i);
     if (it != rows_.end()) {
       ++hits_;
+      metrics.hits.inc();
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return it->second.data;
     }
     ++misses_;
+    metrics.misses.inc();
   }
   // Compute outside the lock so concurrent misses on different rows fill
   // in parallel; a race on the *same* row does redundant work but the
@@ -128,32 +163,36 @@ SharedGramCache::RowPtr SharedGramCache::row(std::size_t i) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return it->second.data;
   }
+  std::int64_t delta_rows = 1;  // net resident change: insert − eviction
   if (rows_.size() >= capacity_) {
     const std::size_t victim = lru_.back();
     lru_.pop_back();
     rows_.erase(victim);
     ++evictions_;
+    metrics.evictions.inc();
+    delta_rows = 0;
   }
   lru_.push_front(i);
   auto [pos, inserted] =
       rows_.emplace(i, Entry{RowPtr(std::move(fresh)), lru_.begin()});
   (void)inserted;
+  // Gauges aggregate across every live cache; updated under the lock we
+  // still hold so they track the map exactly.
+  metrics.resident_rows.add(delta_rows);
+  metrics.resident_bytes.add(delta_rows *
+                             static_cast<std::int64_t>(row_bytes()));
   return pos->second.data;
 }
 
-std::size_t SharedGramCache::hits() const {
+SharedGramCache::Stats SharedGramCache::stats() const {
   std::lock_guard lock(mutex_);
-  return hits_;
-}
-
-std::size_t SharedGramCache::misses() const {
-  std::lock_guard lock(mutex_);
-  return misses_;
-}
-
-std::size_t SharedGramCache::evictions() const {
-  std::lock_guard lock(mutex_);
-  return evictions_;
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident_rows = rows_.size();
+  s.resident_bytes = rows_.size() * row_bytes();
+  return s;
 }
 
 SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
@@ -208,6 +247,10 @@ SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
   std::vector<double> grad_bar;
   if (shrinking) grad_bar.assign(n, 0.0);
   bool unshrunk = false;
+  // Tallied locally (zero shared-state traffic in the loop) and pushed
+  // to the registry once at the end of the solve.
+  std::size_t shrink_passes = 0;
+  std::size_t unshrink_events = 0;
 
   const auto restore_active = [&]() {
     active.resize(n);
@@ -284,6 +327,7 @@ SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
   // active set, unshrink once when it first closes to within 10·tol,
   // then drop bound-clamped variables lying strictly outside it.
   const auto do_shrinking = [&]() {
+    ++shrink_passes;
     double g_max1 = -std::numeric_limits<double>::infinity();  // max -yG, I_up
     double g_max2 = -std::numeric_limits<double>::infinity();  // max  yG, I_low
     for (const std::size_t t : active) {
@@ -298,6 +342,7 @@ SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
     }
     if (!unshrunk && g_max1 + g_max2 <= config.tolerance * 10.0) {
       unshrunk = true;
+      ++unshrink_events;
       reconstruct_gradient();
       restore_active();
       // Recompute the window on the now-exact full gradient before
@@ -358,6 +403,7 @@ SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
       // full gradient and re-check on all n variables before declaring
       // convergence (LIBSVM's final unshrink pass).
       if (active.size() < n) {
+        ++unshrink_events;
         reconstruct_gradient();
         restore_active();
         since_shrink = 0;
@@ -479,9 +525,29 @@ SmoResult solve_smo(const SmoProblem& problem, const SmoConfig& config) {
   if (iter >= config.max_iterations) {
     result.converged = false;
     if (active.size() < n) {
+      ++unshrink_events;
       reconstruct_gradient();  // rho/objective need the full gradient
       restore_active();
     }
+  }
+
+  {
+    auto& registry = obs::MetricsRegistry::instance();
+    static auto& solves = registry.counter("smo.solves");
+    static auto& iterations = registry.counter("smo.iterations");
+    static auto& shrinks = registry.counter("smo.shrink_passes");
+    static auto& unshrinks = registry.counter("smo.unshrink_events");
+    static auto& rows_computed = registry.counter("smo.kernel_rows_computed");
+    static auto& row_hits = registry.counter("smo.kernel_row_hits");
+    static auto& iter_hist =
+        registry.histogram("smo.iterations_per_solve", "iterations");
+    solves.inc();
+    iterations.inc(iter);
+    shrinks.inc(shrink_passes);
+    unshrinks.inc(unshrink_events);
+    rows_computed.inc(cache.misses());
+    row_hits.inc(cache.hits());
+    iter_hist.record(iter);
   }
 
   // rho (decision offset): average of y_i G_i over free SVs, or the

@@ -119,6 +119,8 @@ class SharedGramCache {
  public:
   SharedGramCache(const Matrix& X, Kernel kernel, std::size_t capacity_rows,
                   GramPrecision precision = GramPrecision::kFloat32);
+  /// Releases this cache's share of the process-wide resident gauges.
+  ~SharedGramCache();
 
   /// One cached full-matrix kernel row; exactly one of the two payload
   /// vectors is populated, matching the cache's precision.  Immutable
@@ -172,9 +174,23 @@ class SharedGramCache {
   static std::size_t rows_for_budget(std::size_t n, std::size_t budget_bytes,
                                      GramPrecision precision);
 
-  std::size_t hits() const;
-  std::size_t misses() const;
-  std::size_t evictions() const;
+  /// One consistent view of the cache counters.  Taken under the cache
+  /// lock in a single acquisition, so cross-field invariants (e.g.
+  /// evictions ≤ misses, resident_rows ≤ capacity) hold even while
+  /// other threads ingest rows — reading the individual accessors one
+  /// after another can interleave with writers and tear.
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t resident_rows = 0;
+    std::size_t resident_bytes = 0;
+  };
+  Stats stats() const;
+
+  std::size_t hits() const { return stats().hits; }
+  std::size_t misses() const { return stats().misses; }
+  std::size_t evictions() const { return stats().evictions; }
 
  private:
   GramRowEngine engine_;

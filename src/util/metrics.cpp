@@ -1,0 +1,241 @@
+#include "util/metrics.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace xdmodml::obs {
+
+namespace {
+
+bool env_enabled() {
+  const char* v = std::getenv("XDMODML_METRICS");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "on") == 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+/// Formats a double with enough precision for ratios, no locale.
+std::string format_ratio(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Derived hit-rate from a pair of counters; negative when undefined.
+double hit_rate(const MetricsSnapshot& snap, const std::string& hits,
+                const std::string& misses) {
+  const std::uint64_t h = snap.counter(hits);
+  const std::uint64_t m = snap.counter(misses);
+  if (h + m == 0) return -1.0;
+  return static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::uint64_t value) {
+  const std::size_t idx = static_cast<std::size_t>(std::bit_width(value));
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_floor(std::size_t i) {
+  if (i == 0) return 0;
+  return std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total) + 0.5);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += bucket(i);
+    if (cumulative >= target && cumulative > 0) {
+      // Exclusive upper edge of bucket i (bucket 0 holds exact zeros).
+      return i == 0 ? 0 : (i >= 64 ? ~std::uint64_t{0} : std::uint64_t{1} << i);
+    }
+  }
+  return ~std::uint64_t{0};
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: pool workers and bench destructors may record
+  // during static teardown, after a normal static would be gone.
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& unit) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot.second) {
+    slot.first = unit;
+    slot.second = std::make_unique<Histogram>();
+  }
+  return *slot.second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.second;
+    MetricsSnapshot::HistogramValue hv;
+    hv.name = name;
+    hv.unit = entry.first;
+    hv.count = h.count();
+    hv.sum = h.sum();
+    hv.p50 = h.quantile(0.5);
+    hv.p99 = h.quantile(0.99);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t c = h.bucket(i);
+      if (c > 0) hv.buckets.emplace_back(Histogram::bucket_floor(i), c);
+    }
+    snap.histograms.push_back(std::move(hv));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::to_text() const {
+  const MetricsSnapshot snap = snapshot();
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counters) {
+    os << "counter " << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    os << "gauge " << name << " " << v << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    os << "hist " << h.name << " count=" << h.count << " sum=" << h.sum
+       << " p50=" << h.p50 << " p99=" << h.p99 << " unit=" << h.unit << "\n";
+  }
+  const double gram = hit_rate(snap, "gram_cache.hits", "gram_cache.misses");
+  if (gram >= 0.0) {
+    os << "derived gram_cache.hit_rate " << format_ratio(gram) << "\n";
+  }
+  const double grid = hit_rate(snap, "grid.cache_hits", "grid.cache_misses");
+  if (grid >= 0.0) {
+    os << "derived grid.cache_reuse_ratio " << format_ratio(grid) << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const MetricsSnapshot snap = snapshot();
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << snap.counters[i].first
+       << "\": " << snap.counters[i].second;
+  }
+  os << "}, \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << snap.gauges[i].first
+       << "\": " << snap.gauges[i].second;
+  }
+  os << "}, \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    os << (i ? ", " : "") << "\"" << h.name << "\": {\"unit\": \"" << h.unit
+       << "\", \"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"p50\": " << h.p50 << ", \"p99\": " << h.p99
+       << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << "[" << h.buckets[b].first << ", "
+         << h.buckets[b].second << "]";
+    }
+    os << "]}";
+  }
+  os << "}, \"derived\": {";
+  bool first = true;
+  const double gram = hit_rate(snap, "gram_cache.hits", "gram_cache.misses");
+  if (gram >= 0.0) {
+    os << "\"gram_cache.hit_rate\": " << format_ratio(gram);
+    first = false;
+  }
+  const double grid = hit_rate(snap, "grid.cache_hits", "grid.cache_misses");
+  if (grid >= 0.0) {
+    os << (first ? "" : ", ")
+       << "\"grid.cache_reuse_ratio\": " << format_ratio(grid);
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h.second->reset();
+}
+
+}  // namespace xdmodml::obs

@@ -1,0 +1,188 @@
+// Low-overhead runtime observability: counters, gauges and log-bucketed
+// histograms behind a process-wide registry.
+//
+// The serving story (ROADMAP north star, paper §IV) needs cache hit
+// rates, SMO iteration counts and ingest latencies to be visible at
+// runtime, not only in ad-hoc benches.  This layer makes every hot path
+// self-reporting while staying cheap enough to leave compiled in:
+//
+//  * Counters and gauges are single relaxed atomics.  Producers update
+//    them unconditionally, but only at *coarse* sites — once per kernel
+//    row, per SMO solve, per ingest — never per matrix element, so the
+//    steady-state cost is a handful of uncontended relaxed adds per
+//    unit of real work (far below measurement noise; the bench
+//    trajectories in BENCH_*.json guard the <2 % budget).
+//  * Histograms are 65 power-of-two buckets of relaxed atomics; one
+//    `record()` is three relaxed adds.
+//  * Anything that must touch a clock (ScopedTimer in util/trace.hpp)
+//    is gated on `enabled()` — with the toggle off no time source is
+//    read and no histogram is touched.
+//  * The registry itself takes a mutex only on metric *lookup*; hot
+//    call sites cache the returned reference in a function-local
+//    static, so lookup happens once per process.
+//
+// Toggle: the XDMODML_METRICS environment variable ("1"/"true"/"on")
+// read once at first use, overridable at runtime via `set_enabled`.
+// Exporters: `to_text()` (human) and `to_json()` (machine; embedded in
+// bench JSON rows and in ClassificationService::report()).
+//
+// How to add a metric: grab it once and cache the reference —
+//
+//   static auto& hits =
+//       obs::MetricsRegistry::instance().counter("my_cache.hits");
+//   hits.inc();
+//
+// Names are dot-separated (subsystem.metric).  See DESIGN.md §9.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xdmodml::obs {
+
+/// Global observability toggle.  Defaults to the XDMODML_METRICS
+/// environment variable (read once); `set_enabled` overrides at runtime.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic event counter (relaxed atomic increments).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, resident bytes, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger (high-water-mark tracking).
+  void update_max(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log₂-bucketed histogram of non-negative integer samples (latency in
+/// nanoseconds, iterations per solve, ...).  Bucket i ≥ 1 covers
+/// [2^(i−1), 2^i); bucket 0 holds exact zeros.  One record() is three
+/// relaxed atomic adds; concurrent recording never loses samples.
+class Histogram {
+ public:
+  /// bit_width(uint64) ranges over [0, 64] — 65 buckets.
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bucket_floor(std::size_t i);
+
+  /// Upper-bound estimate of the q-quantile (q in [0, 1]): the
+  /// exclusive upper edge of the first bucket whose cumulative count
+  /// reaches q·count.  0 when empty.
+  std::uint64_t quantile(double q) const;
+
+  double mean() const {
+    const std::uint64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+  }
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time copy of every registered metric, consistent per metric
+/// (each atomic is loaded once; histograms may be mid-record across
+/// fields, which over/under-counts by at most the in-flight samples).
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::string name;
+    std::string unit;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    /// (bucket_floor, count) for non-empty buckets only.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Convenience lookups (0 when absent).
+  std::uint64_t counter(const std::string& name) const;
+  std::int64_t gauge(const std::string& name) const;
+  const HistogramValue* histogram(const std::string& name) const;
+};
+
+/// Process-wide metric registry.  Lookup is mutex-guarded and intended
+/// to run once per call site (cache the reference in a static); the
+/// returned references stay valid for the life of the process.  The
+/// singleton is deliberately leaked so worker threads may record during
+/// static destruction.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, const std::string& unit = "ns");
+
+  MetricsSnapshot snapshot() const;
+
+  /// Human-readable dump: one metric per line, plus derived rates
+  /// (e.g. gram_cache.hit_rate) where the inputs exist.
+  std::string to_text() const;
+
+  /// One JSON object:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {name: {"unit", "count", "sum", "p50", "p99",
+  ///                          "buckets": [[floor, count], ...]}},
+  ///    "derived": {"gram_cache.hit_rate": 0.93, ...}}
+  std::string to_json() const;
+
+  /// Zeroes every registered metric (tests and bench arms; metrics are
+  /// never unregistered, so cached references stay valid).
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<Histogram>>>
+      histograms_;
+};
+
+}  // namespace xdmodml::obs

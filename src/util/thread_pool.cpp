@@ -1,8 +1,11 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace xdmodml {
 
@@ -35,6 +38,43 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::on_pool_thread() const { return t_current_pool == this; }
+
+std::uint64_t ThreadPool::maybe_now_ns() {
+  return obs::enabled() ? obs::now_ns() : 0;
+}
+
+void ThreadPool::record_task_done(std::uint64_t enqueue_ns) {
+  // Latency includes the queue wait, so a deep queue shows up here as
+  // well as in the high-water mark.
+  static auto& latency =
+      obs::MetricsRegistry::instance().histogram("thread_pool.task_ns", "ns");
+  latency.record(obs::now_ns() - enqueue_ns);
+}
+
+void ThreadPool::note_enqueued(std::size_t queue_depth) {
+  static auto& tasks =
+      obs::MetricsRegistry::instance().counter("thread_pool.tasks");
+  static auto& hwm =
+      obs::MetricsRegistry::instance().gauge("thread_pool.queue_hwm");
+  tasks.inc();
+  hwm.update_max(static_cast<std::int64_t>(queue_depth));
+}
+
+void ThreadPool::join_all(std::vector<std::future<void>>& futures) {
+  // Every future must be drained before anything propagates: a future
+  // abandoned mid-loop leaves its chunk running (std::future from a
+  // packaged_task does not block on destruction), and that chunk still
+  // holds references to the caller's `body`.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
 
 void ThreadPool::worker_loop() {
   t_current_pool = this;
@@ -75,7 +115,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) body(i);
     }));
   }
-  for (auto& f : futures) f.get();  // rethrows the first chunk exception
+  join_all(futures);  // all chunks finish, then the first exception
 }
 
 void ThreadPool::parallel_for_ranges(
@@ -99,7 +139,7 @@ void ThreadPool::parallel_for_ranges(
     const std::size_t hi = std::min(end, lo + chunk_size);
     futures.push_back(submit([lo, hi, &body] { body(lo, hi); }));
   }
-  for (auto& f : futures) f.get();  // rethrows the first chunk exception
+  join_all(futures);  // all chunks finish, then the first exception
 }
 
 ThreadPool& ThreadPool::global() {

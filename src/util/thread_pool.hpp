@@ -17,6 +17,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -46,17 +47,31 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
+    // 0 when metrics are off — the task then runs unwrapped and no
+    // clock is ever read (see util/metrics.hpp's cost rules).
+    const std::uint64_t enqueue_ns = maybe_now_ns();
     {
       std::lock_guard lock(mutex_);
-      tasks_.emplace([task] { (*task)(); });
+      if (enqueue_ns != 0) {
+        tasks_.emplace([task, enqueue_ns] {
+          (*task)();
+          record_task_done(enqueue_ns);
+        });
+      } else {
+        tasks_.emplace([task] { (*task)(); });
+      }
+      note_enqueued(tasks_.size());
     }
     cv_.notify_one();
     return fut;
   }
 
   /// Runs `body(i)` for i in [begin, end), partitioned into contiguous
-  /// chunks across the pool.  Blocks until all iterations complete; the
-  /// first exception thrown by any chunk is rethrown on the caller.
+  /// chunks across the pool.  Blocks until *every* chunk has finished —
+  /// even when one throws — and only then rethrows the first chunk's
+  /// exception, so `body` and anything it captures are never touched
+  /// after this returns (rethrowing before the join let still-running
+  /// chunks race a caller already unwinding its stack).
   /// When called from one of this pool's own workers the body runs
   /// inline on the caller (see the nested-dispatch note above).
   void parallel_for(std::size_t begin, std::size_t end,
@@ -81,6 +96,17 @@ class ThreadPool {
 
  private:
   void worker_loop();
+
+  /// now_ns() when metrics are enabled, 0 otherwise (keeps the metrics
+  /// headers out of this one and the clock off the disabled path).
+  static std::uint64_t maybe_now_ns();
+  /// Records task latency (enqueue → completion) into the registry.
+  static void record_task_done(std::uint64_t enqueue_ns);
+  /// Task counter + queue-depth high-water mark; call under `mutex_`.
+  void note_enqueued(std::size_t queue_depth);
+
+  /// Waits on every future, then rethrows the first captured exception.
+  static void join_all(std::vector<std::future<void>>& futures);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

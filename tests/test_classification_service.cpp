@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "workload/dataset_helpers.hpp"
 #include "workload/generator.hpp"
 
@@ -50,7 +52,7 @@ TEST_F(ServiceTest, IdentifiedJobsPassThrough) {
   }
   EXPECT_EQ(service.stats().identified, 20u);
   EXPECT_EQ(service.stats().attributed, 0u);
-  EXPECT_EQ(service.warehouse().size(), 20u);
+  EXPECT_EQ(service.warehouse()->size(), 20u);
 }
 
 TEST_F(ServiceTest, CommunityNaJobsGetAttributed) {
@@ -66,8 +68,14 @@ TEST_F(ServiceTest, CommunityNaJobsGetAttributed) {
   xdmod::Filter na_filter;
   na_filter.label_source = supremm::LabelSource::kNotAvailable;
   std::size_t with_app = 0;
-  for (const auto* job : service.warehouse().query(na_filter)) {
-    if (!job->application.empty()) ++with_app;
+  {
+    // Hold the view across the query loop so the returned pointers stay
+    // pinned, and release it before touching stats() below — the view
+    // owns the same mutex.
+    const auto view = service.warehouse();
+    for (const auto* job : view->query(na_filter)) {
+      if (!job->application.empty()) ++with_app;
+    }
   }
   EXPECT_EQ(with_app, service.stats().attributed);
 }
@@ -119,7 +127,7 @@ TEST_F(ServiceTest, IngestBatchMatchesSerialIngest) {
   EXPECT_EQ(batched.stats().identified, serial.stats().identified);
   EXPECT_EQ(batched.stats().attributed, serial.stats().attributed);
   EXPECT_EQ(batched.stats().unresolved, serial.stats().unresolved);
-  EXPECT_EQ(batched.warehouse().size(), serial.warehouse().size());
+  EXPECT_EQ(batched.warehouse()->size(), serial.warehouse()->size());
   EXPECT_EQ(batched.attributed_cpu_hours(), serial.attributed_cpu_hours());
 }
 
@@ -155,7 +163,7 @@ TEST_F(ServiceTest, ConcurrentIngestKeepsExactTallies) {
   const auto stats = service.stats();
   EXPECT_EQ(stats.total(), kThreads * kJobsPerThread);
   EXPECT_EQ(stats.identified, expected_identified);
-  EXPECT_EQ(service.warehouse().size(), kThreads * kJobsPerThread);
+  EXPECT_EQ(service.warehouse()->size(), kThreads * kJobsPerThread);
 }
 
 TEST_F(ServiceTest, ConcurrentIngestBatchKeepsExactTallies) {
@@ -180,7 +188,97 @@ TEST_F(ServiceTest, ConcurrentIngestBatchKeepsExactTallies) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(service.stats().total(), kThreads * kJobsPerThread);
-  EXPECT_EQ(service.warehouse().size(), kThreads * kJobsPerThread);
+  EXPECT_EQ(service.warehouse()->size(), kThreads * kJobsPerThread);
+}
+
+TEST_F(ServiceTest, WarehouseViewBlocksConcurrentIngest) {
+  // Regression test for the old reference escape: warehouse() used to
+  // return the warehouse with no synchronization, so a reader could
+  // race ingest (TSan flagged the map mutation under the reader's
+  // feet) and watch the size change mid-read.  The locked view pins
+  // the warehouse: while a view is alive the contents are frozen.
+  ClassificationService service(*clf_, 0.5);
+  const auto seed_jobs = gen_->generate_native(5);
+  for (const auto& job : seed_jobs) service.ingest(job.summary);
+
+  std::atomic<bool> stop{false};
+  std::thread ingester([&] {
+    const auto jobs = gen_->generate_native(64);
+    std::size_t i = 0;
+    while (!stop.load()) {
+      service.ingest(jobs[i % jobs.size()].summary);
+      ++i;
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    const auto view = service.warehouse();
+    const std::size_t size_first = view->size();
+    const std::size_t size_again = view->size();
+    EXPECT_EQ(size_first, size_again);
+    // Query results stay valid for the lifetime of the view and agree
+    // with the frozen size.
+    EXPECT_EQ(view->query({}).size(), size_first);
+  }
+  stop.store(true);
+  ingester.join();
+  EXPECT_GE(service.warehouse()->size(), seed_jobs.size());
+}
+
+TEST_F(ServiceTest, MetricsSnapshotMatchesIngestTallies) {
+  // The observability counters must agree exactly with the service's
+  // own tallies.  Outcome counters are process-global and always-on, so
+  // the assertion is on before/after deltas.
+  const bool prev_enabled = obs::enabled();
+  obs::set_enabled(true);
+  auto& registry = obs::MetricsRegistry::instance();
+  const auto before = registry.snapshot();
+
+  ClassificationService service(*clf_, 0.5);
+  auto jobs = gen_->generate_native(10);
+  for (auto& job : gen_->generate_na(30, /*community_fraction=*/1.0)) {
+    jobs.push_back(std::move(job));
+  }
+  for (auto& job : gen_->generate_uncategorized(10)) {
+    jobs.push_back(std::move(job));
+  }
+  for (const auto& job : jobs) service.ingest(job.summary);
+
+  const auto stats = service.stats();
+  const auto after = registry.snapshot();
+  EXPECT_EQ(after.counter("service.identified") -
+                before.counter("service.identified"),
+            stats.identified);
+  EXPECT_EQ(after.counter("service.attributed") -
+                before.counter("service.attributed"),
+            stats.attributed);
+  EXPECT_EQ(after.counter("service.unresolved") -
+                before.counter("service.unresolved"),
+            stats.unresolved);
+
+  // With the toggle on, every ingest timed exactly one classify and one
+  // commit into the latency histograms.
+  const auto* classify_before = before.histogram("service.classify_ns");
+  const auto* commit_before = before.histogram("service.commit_ns");
+  const auto* classify_after = after.histogram("service.classify_ns");
+  const auto* commit_after = after.histogram("service.commit_ns");
+  ASSERT_NE(classify_after, nullptr);
+  ASSERT_NE(commit_after, nullptr);
+  const auto count_of = [](const obs::MetricsSnapshot::HistogramValue* h) {
+    return h == nullptr ? std::uint64_t{0} : h->count;
+  };
+  EXPECT_EQ(classify_after->count - count_of(classify_before), stats.total());
+  EXPECT_EQ(commit_after->count - count_of(commit_before), stats.total());
+
+  // report() embeds the registry snapshot while the toggle is on...
+  EXPECT_NE(service.report().find("-- metrics snapshot --"),
+            std::string::npos);
+  EXPECT_NE(service.report().find("counter service.identified"),
+            std::string::npos);
+  // ...and stays a plain service summary when it is off.
+  obs::set_enabled(false);
+  EXPECT_EQ(service.report().find("-- metrics snapshot --"),
+            std::string::npos);
+  obs::set_enabled(prev_enabled);
 }
 
 TEST_F(ServiceTest, Validation) {

@@ -177,5 +177,60 @@ TEST(SharedGramCacheProps, ConcurrentHammerYieldsNoTornRows) {
   }
 }
 
+// Regression test: composing the per-field accessors (hits(), misses(),
+// evictions() — each taking the lock separately) could tear: a reader
+// could see an eviction whose miss it had not seen, violating
+// evictions <= misses.  `stats()` takes the lock once, so every
+// snapshot must satisfy the cache invariants even while writer threads
+// force continuous eviction churn.
+TEST(SharedGramCacheProps, StatsSnapshotNeverTearsUnderConcurrentChurn) {
+  const std::size_t n = 24;
+  const Matrix X = make_matrix(n, 5, 17);
+  SharedGramCache cache(X, Kernel::rbf(0.4), 4);  // small: constant churn
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> violations{0};
+  std::thread reader([&] {
+    std::size_t last_accesses = 0;
+    while (!done.load()) {
+      const auto s = cache.stats();
+      if (s.evictions > s.misses) ++violations;
+      if (s.resident_rows > cache.capacity_rows()) ++violations;
+      if (s.resident_bytes != s.resident_rows * cache.row_bytes()) {
+        ++violations;
+      }
+      // Accesses only ever accumulate.
+      const std::size_t accesses = s.hits + s.misses;
+      if (accesses < last_accesses) ++violations;
+      last_accesses = accesses;
+    }
+  });
+
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kOpsPerWriter = 400;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      Rng rng(200 + t);
+      for (std::size_t op = 0; op < kOpsPerWriter; ++op) {
+        (void)cache.row(static_cast<std::size_t>(rng.uniform_index(n)));
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(violations.load(), 0u);
+
+  // Quiesced, the snapshot and the convenience accessors agree.
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, cache.hits());
+  EXPECT_EQ(s.misses, cache.misses());
+  EXPECT_EQ(s.evictions, cache.evictions());
+  EXPECT_EQ(s.hits + s.misses, kWriters * kOpsPerWriter);
+  EXPECT_LE(s.resident_rows, cache.capacity_rows());
+  EXPECT_EQ(s.resident_bytes, s.resident_rows * cache.row_bytes());
+}
+
 }  // namespace
 }  // namespace xdmodml::ml

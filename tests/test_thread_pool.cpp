@@ -5,9 +5,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -74,6 +77,82 @@ TEST(ThreadPool, ParallelForRethrowsBodyException) {
                                    }
                                  }),
                std::runtime_error);
+}
+
+// Counts body invocations currently executing; parallel_for must never
+// return (even by exception) while this is non-zero — a live invocation
+// still holds a reference to the caller's `body`.
+struct InFlightGuard {
+  explicit InFlightGuard(std::atomic<int>& counter) : counter_(counter) {
+    counter_.fetch_add(1);
+  }
+  ~InFlightGuard() { counter_.fetch_sub(1); }
+  std::atomic<int>& counter_;
+};
+
+TEST(ThreadPool, ParallelForJoinsAllChunksBeforeRethrow) {
+  // Regression test: parallel_for used to rethrow the first failed
+  // future immediately, abandoning the remaining futures — and a
+  // std::future from a packaged_task does NOT block on destruction, so
+  // still-running chunks kept executing against a `body` reference the
+  // caller had already popped off its stack.  The fix joins every chunk
+  // first and only then rethrows the first exception.
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 64,
+                        [&](std::size_t i) {
+                          InFlightGuard guard(in_flight);
+                          if (i == 0) throw std::runtime_error("bad item");
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(1));
+                          ++completed;
+                        }),
+      std::runtime_error);
+  // The call returned: nothing may still be running, and every chunk
+  // other than the throwing one must have run to completion.  The
+  // throw legitimately abandons the rest of its *own* chunk (the 7
+  // indices sharing chunk 0 with i == 0), so 56 of the 63 non-throwing
+  // indices are guaranteed; pre-fix the early rethrow left most chunks
+  // unfinished or still running.
+  EXPECT_EQ(in_flight.load(), 0);
+  EXPECT_GE(completed.load(), 56);
+}
+
+TEST(ThreadPoolRanges, JoinsAllChunksBeforeRethrow) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for_ranges(
+                   0, 8, 1,
+                   [&](std::size_t lo, std::size_t) {
+                     InFlightGuard guard(in_flight);
+                     if (lo == 0) throw std::runtime_error("bad chunk");
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(20));
+                     ++completed;
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(in_flight.load(), 0);
+  EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(ThreadPoolRanges, RethrowsFirstChunkInSubmissionOrderWhenSeveralFail) {
+  // With several failing chunks, the one earliest in submission order
+  // wins — deterministic, independent of which worker finished first.
+  ThreadPool pool(2);
+  std::string message;
+  try {
+    pool.parallel_for_ranges(0, 8, 1, [&](std::size_t lo, std::size_t) {
+      if (lo == 2) throw std::runtime_error("chunk 2");
+      if (lo == 5) throw std::runtime_error("chunk 5");
+    });
+    FAIL() << "expected parallel_for_ranges to throw";
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  EXPECT_EQ(message, "chunk 2");
 }
 
 TEST(ThreadPool, NestedParallelForRunsInline) {
