@@ -1,7 +1,10 @@
 #include "core/importance.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <numeric>
 
+#include "ml/binned_dataset.hpp"
 #include "ml/metrics.hpp"
 #include "util/error.hpp"
 
@@ -45,6 +48,19 @@ std::vector<SweepPoint> predictor_sweep(
     std::uint64_t seed) {
   XDMODML_CHECK(!ranking.empty(), "sweep requires a ranking");
   XDMODML_CHECK(!counts.empty(), "sweep requires cutoff counts");
+
+  // Trees are invariant to monotone per-feature transforms, so the sweep
+  // forests run on the raw features — which lets the full training table
+  // be quantile-binned ONCE here, with every cutoff's forest reusing the
+  // column subset of the shared codes instead of re-binning per k.
+  std::shared_ptr<const ml::BinnedDataset> binned_full;
+  if (ml::resolve_split_algo(config.tree.split_algo) ==
+      ml::SplitAlgo::kHist) {
+    binned_full = std::make_shared<const ml::BinnedDataset>(train.X);
+  }
+  std::vector<std::size_t> all_rows(train.size());
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+
   std::vector<SweepPoint> points;
   points.reserve(counts.size());
   for (const auto k : counts) {
@@ -60,13 +76,16 @@ std::vector<SweepPoint> predictor_sweep(
     const auto sub_train = train.select_features(keep);
     const auto sub_test = test.select_features(keep);
 
-    ml::Standardizer standardizer;
-    const Matrix train_std = standardizer.fit_transform(sub_train.X);
+    std::shared_ptr<const ml::BinnedDataset> sub_binned;
+    if (binned_full != nullptr) {
+      sub_binned = std::make_shared<const ml::BinnedDataset>(
+          binned_full->select_features(keep));
+    }
     ml::RandomForestClassifier forest(config, seed);
-    forest.fit(train_std, sub_train.labels,
-               static_cast<int>(sub_train.num_classes()));
-    const Matrix test_std = standardizer.transform(sub_test.X);
-    const auto predictions = forest.predict_batch(test_std);
+    forest.fit_rows(sub_train.X, sub_train.labels,
+                    static_cast<int>(sub_train.num_classes()), all_rows,
+                    sub_binned);
+    const auto predictions = forest.predict_batch(sub_test.X);
     pt.accuracy = ml::accuracy(sub_test.labels, predictions);
     points.push_back(std::move(pt));
   }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "ml/binned_dataset.hpp"
 #include "ml/metrics.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -60,6 +62,50 @@ CvResult cross_validate(const Dataset& ds, const ClassifierFactory& factory,
     const auto x_test = standardizer.transform(test.X);
     const auto predictions = model->predict_batch(x_test);
     const double acc = accuracy(test.labels, predictions);
+    result.fold_accuracies.push_back(acc);
+    stats.add(acc);
+  }
+  result.mean_accuracy = stats.mean();
+  result.stddev_accuracy = stats.stddev();
+  return result;
+}
+
+CvResult forest_cross_validate(const Dataset& ds, const ForestConfig& config,
+                               std::size_t folds, std::uint64_t seed) {
+  ds.validate();
+  XDMODML_CHECK(!ds.labels.empty(), "CV requires a labeled dataset");
+  Rng rng(seed);
+  const auto fold_of = stratified_folds(ds.labels, folds, rng);
+
+  // Bin the full matrix once; every fold's forest trains on a row subset
+  // of the same codes.  With the exact split algorithm the shared
+  // dataset is simply ignored by the trees.
+  std::shared_ptr<const BinnedDataset> binned;
+  if (resolve_split_algo(config.tree.split_algo) == SplitAlgo::kHist) {
+    binned = std::make_shared<const BinnedDataset>(ds.X);
+  }
+
+  const int num_classes = static_cast<int>(ds.num_classes());
+  CvResult result;
+  RunningStats stats;
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    std::vector<int> test_labels;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      if (fold_of[i] == f) {
+        test_rows.push_back(i);
+        test_labels.push_back(ds.labels[i]);
+      } else {
+        train_rows.push_back(i);
+      }
+    }
+    XDMODML_CHECK(!train_rows.empty() && !test_rows.empty(),
+                  "fold without train or test rows — too many folds");
+    RandomForestClassifier forest(config, seed + f);
+    forest.fit_rows(ds.X, ds.labels, num_classes, train_rows, binned);
+    const auto predictions = forest.predict_batch(ds.X.gather_rows(test_rows));
+    const double acc = accuracy(test_labels, predictions);
     result.fold_accuracies.push_back(acc);
     stats.add(acc);
   }

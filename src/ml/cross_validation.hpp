@@ -13,6 +13,7 @@
 
 #include "ml/classifier.hpp"
 #include "ml/dataset.hpp"
+#include "ml/random_forest.hpp"
 #include "ml/svm.hpp"
 #include "util/rng.hpp"
 
@@ -37,6 +38,16 @@ struct CvResult {
 /// Features are standardized per fold (fit on the training side only).
 CvResult cross_validate(const Dataset& ds, const ClassifierFactory& factory,
                         std::size_t folds, std::uint64_t seed = 1);
+
+/// Forest-specialized k-fold CV: every fold's training set is a row
+/// subset of the same matrix, so the quantile-binned dataset is built
+/// ONCE and shared across all folds (and all trees within each fold)
+/// via `RandomForestClassifier::fit_rows` — the forest analogue of the
+/// per-γ kernel-cache sharing in svm_grid_search.  Features are used
+/// raw: trees are invariant to monotone per-feature transforms, so the
+/// per-fold standardization of the generic path adds nothing here.
+CvResult forest_cross_validate(const Dataset& ds, const ForestConfig& config,
+                               std::size_t folds, std::uint64_t seed = 1);
 
 /// One evaluated point of an SVM (γ, C) grid search.
 struct GridPoint {

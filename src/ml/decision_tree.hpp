@@ -1,11 +1,21 @@
 // CART decision trees (classification via Gini impurity, regression via
 // variance reduction), the building block of the random forest.
 //
-// The split search follows the classic sort-and-scan algorithm: for each
-// candidate feature the samples reaching a node are sorted by feature
-// value and every midpoint between distinct consecutive values is scored
-// incrementally.  `max_features` enables the per-split feature subsampling
-// that distinguishes a *random* forest from plain bagging.
+// Two split-search algorithms share one engine:
+//
+//  * kExact — the classic sort-and-scan: for each candidate feature the
+//    samples reaching a node are sorted by feature value and every
+//    midpoint between distinct consecutive values is scored
+//    incrementally.  O(n log n) per feature per node.
+//  * kHist — histogram-binned search over a `BinnedDataset`: per-bin
+//    class-count (or count/sum/sumsq) histograms are accumulated in one
+//    O(n) pass per feature and the ≤256 bins are scanned instead of
+//    sorting.  A node derives a child's histogram from its own minus the
+//    sibling's whenever that is cheaper than rescanning (the
+//    parent-minus-sibling subtraction trick).
+//
+// `max_features` enables the per-split feature subsampling that
+// distinguishes a *random* forest from plain bagging.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +29,19 @@
 
 namespace xdmodml::ml {
 
+class BinnedDataset;
+
+/// Split-search algorithm selector.  kAuto defers to the
+/// XDMODML_TREE_SPLIT environment variable ("exact" / "hist", read once
+/// per process) and defaults to kHist; an explicit kExact/kHist in the
+/// config always wins over the environment, mirroring how
+/// XDMODML_SIMD interacts with simd::set_active.
+enum class SplitAlgo { kAuto, kExact, kHist };
+
+/// Resolves kAuto against the environment; returns non-auto requests
+/// unchanged.
+SplitAlgo resolve_split_algo(SplitAlgo requested);
+
 /// Hyper-parameters shared by tree classifier / regressor / forest.
 struct TreeConfig {
   std::size_t max_depth = 0;          ///< 0 = unlimited
@@ -26,6 +49,7 @@ struct TreeConfig {
   std::size_t min_samples_leaf = 1;   ///< both children must have >= this
   std::size_t max_features = 0;       ///< features tried per split; 0 = all
   double min_impurity_decrease = 0.0; ///< prune splits that gain less
+  SplitAlgo split_algo = SplitAlgo::kAuto;  ///< split search (see above)
 };
 
 namespace detail {
@@ -50,9 +74,13 @@ class TreeEngine {
   /// Trains on the rows of X listed in `sample_indices` (duplicates allowed
   /// — this is how the forest passes bootstrap samples).  For
   /// classification, `y_class` supplies labels; for regression, `y_value`.
+  /// With the kHist algorithm, `binned` supplies the shared quantile-binned
+  /// codes of X (the forest bins once and passes the same dataset to every
+  /// tree); when null the engine bins X itself.
   void fit(const Matrix& X, std::span<const int> y_class,
            std::span<const double> y_value, int num_classes,
-           std::span<const std::size_t> sample_indices, Rng& rng);
+           std::span<const std::size_t> sample_indices, Rng& rng,
+           const BinnedDataset* binned = nullptr);
 
   /// Leaf class distribution for one row (classification).
   std::span<const double> leaf_probs(std::span<const double> x) const;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 
+#include "ml/binned_dataset.hpp"
 #include "ml/model_io.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -22,21 +24,43 @@ std::size_t default_mtry(std::size_t num_features, bool classification) {
   return std::max<std::size_t>(1, num_features / 3);
 }
 
-/// Bootstrap sample of n indices plus the complementary OOB set.
-void bootstrap_sample(std::size_t n, Rng& rng,
+/// Bootstrap sample drawn from `rows` (|rows| draws with replacement)
+/// plus the complementary OOB set, both as global row indices.  `seen`
+/// is caller-owned scratch so a range of trees reuses one bitmap
+/// instead of allocating per call.
+void bootstrap_sample(std::span<const std::size_t> rows, Rng& rng,
                       std::vector<std::size_t>& in_bag,
-                      std::vector<std::size_t>& oob) {
+                      std::vector<std::size_t>& oob,
+                      std::vector<char>& seen) {
+  const std::size_t n = rows.size();
   in_bag.resize(n);
-  std::vector<bool> seen(n, false);
+  seen.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const auto j = static_cast<std::size_t>(rng.uniform_index(n));
-    in_bag[i] = j;
-    seen[j] = true;
+    in_bag[i] = rows[j];
+    seen[j] = 1;
   }
   oob.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    if (!seen[i]) oob.push_back(i);
+    if (!seen[i]) oob.push_back(rows[i]);
   }
+}
+
+/// Bins X once for the whole forest when the resolved split algorithm
+/// wants histograms and the caller did not supply a shared dataset.
+std::shared_ptr<const BinnedDataset> ensure_binned(
+    const Matrix& X, const TreeConfig& tree_config,
+    std::shared_ptr<const BinnedDataset> binned) {
+  if (binned != nullptr) {
+    XDMODML_CHECK(binned->rows() == X.rows() &&
+                      binned->features() == X.cols(),
+                  "shared binned dataset does not match X");
+    return binned;
+  }
+  if (resolve_split_algo(tree_config.split_algo) == SplitAlgo::kHist) {
+    return std::make_shared<const BinnedDataset>(X);
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -49,8 +73,18 @@ RandomForestClassifier::RandomForestClassifier(ForestConfig config,
 
 void RandomForestClassifier::fit(const Matrix& X, std::span<const int> y,
                                  int num_classes) {
+  std::vector<std::size_t> all(X.rows());
+  std::iota(all.begin(), all.end(), 0);
+  fit_rows(X, y, num_classes, all, nullptr);
+}
+
+void RandomForestClassifier::fit_rows(
+    const Matrix& X, std::span<const int> y, int num_classes,
+    std::span<const std::size_t> rows,
+    std::shared_ptr<const BinnedDataset> binned) {
   XDMODML_CHECK(X.rows() == y.size() && X.rows() > 0,
                 "fit requires matching non-empty X and y");
+  XDMODML_CHECK(!rows.empty(), "fit_rows requires a non-empty row subset");
   XDMODML_CHECK(num_classes > 0, "num_classes must be positive");
   num_classes_ = num_classes;
   num_features_ = X.cols();
@@ -59,6 +93,7 @@ void RandomForestClassifier::fit(const Matrix& X, std::span<const int> y,
   if (tree_config.max_features == 0) {
     tree_config.max_features = default_mtry(num_features_, true);
   }
+  binned = ensure_binned(X, tree_config, std::move(binned));
 
   const std::size_t t = config_.num_trees;
   trees_.assign(t, detail::TreeEngine(
@@ -72,30 +107,79 @@ void RandomForestClassifier::fit(const Matrix& X, std::span<const int> y,
   streams.reserve(t);
   for (std::size_t i = 0; i < t; ++i) streams.push_back(root.split());
 
-  const std::size_t n = X.rows();
-  auto train_tree = [&](std::size_t i) {
-    Rng& rng = streams[i];
+  auto train_range = [&](std::size_t lo, std::size_t hi) {
+    // Per-range scratch: the in-bag list and bootstrap bitmap are reused
+    // across every tree of the range instead of reallocated per tree.
     std::vector<std::size_t> in_bag;
-    if (config_.bootstrap) {
-      bootstrap_sample(n, rng, in_bag, oob_rows_[i]);
-    } else {
-      in_bag.resize(n);
-      std::iota(in_bag.begin(), in_bag.end(), 0);
+    std::vector<char> seen;
+    for (std::size_t i = lo; i < hi; ++i) {
+      Rng& rng = streams[i];
+      if (config_.bootstrap) {
+        bootstrap_sample(rows, rng, in_bag, oob_rows_[i], seen);
+      } else {
+        in_bag.assign(rows.begin(), rows.end());
+      }
+      trees_[i].fit(X, y, {}, num_classes, in_bag, rng, binned.get());
     }
-    trees_[i].fit(X, y, {}, num_classes, in_bag, rng);
   };
   if (config_.parallel) {
-    ThreadPool::global().parallel_for(0, t, train_tree);
+    ThreadPool::global().parallel_for_ranges(0, t, 1, train_range);
   } else {
-    for (std::size_t i = 0; i < t; ++i) train_tree(i);
+    train_range(0, t);
   }
 
-  // Aggregate impurity importance across trees.
+  // Aggregate impurity importance and OOB votes in one parallel pass
+  // over the trees.  Each range produces a private tally; tallies are
+  // merged in tree order (sorted by range start), so the floating-point
+  // importance sums are independent of which worker ran which range.
+  const auto num_class_sz = static_cast<std::size_t>(num_classes);
+  const std::size_t total_rows = X.rows();
+  struct Partial {
+    std::size_t lo = 0;
+    std::vector<double> importance;
+    std::vector<std::uint32_t> votes;  // row-major total_rows x classes
+  };
+  std::vector<Partial> partials;
+  std::mutex partials_mutex;
+  auto aggregate_range = [&](std::size_t lo, std::size_t hi) {
+    Partial part;
+    part.lo = lo;
+    part.importance.assign(num_features_, 0.0);
+    if (config_.bootstrap) part.votes.assign(total_rows * num_class_sz, 0);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto imp = trees_[i].impurity_importance();
+      for (std::size_t f = 0; f < num_features_; ++f) {
+        part.importance[f] += imp[f];
+      }
+      if (config_.bootstrap) {
+        for (const auto row : oob_rows_[i]) {
+          const auto probs = trees_[i].leaf_probs(X.row(row));
+          const auto best = static_cast<std::size_t>(
+              std::max_element(probs.begin(), probs.end()) - probs.begin());
+          ++part.votes[row * num_class_sz + best];
+        }
+      }
+    }
+    const std::lock_guard lock(partials_mutex);
+    partials.push_back(std::move(part));
+  };
+  if (config_.parallel) {
+    ThreadPool::global().parallel_for_ranges(0, t, 1, aggregate_range);
+  } else {
+    aggregate_range(0, t);
+  }
+  std::sort(partials.begin(), partials.end(),
+            [](const Partial& a, const Partial& b) { return a.lo < b.lo; });
+
   impurity_importance_.assign(num_features_, 0.0);
-  for (const auto& tree : trees_) {
-    const auto imp = tree.impurity_importance();
+  std::vector<std::uint32_t> votes;
+  if (config_.bootstrap) votes.assign(total_rows * num_class_sz, 0);
+  for (const auto& part : partials) {
     for (std::size_t f = 0; f < num_features_; ++f) {
-      impurity_importance_[f] += imp[f];
+      impurity_importance_[f] += part.importance[f];
+    }
+    for (std::size_t k = 0; k < part.votes.size(); ++k) {
+      votes[k] += part.votes[k];
     }
   }
   const double total = std::accumulate(impurity_importance_.begin(),
@@ -107,27 +191,17 @@ void RandomForestClassifier::fit(const Matrix& X, std::span<const int> y,
   // OOB error: majority vote over the trees for which each row was OOB.
   oob_error_ = -1.0;
   if (config_.bootstrap) {
-    std::vector<std::vector<std::size_t>> votes(
-        n, std::vector<std::size_t>(static_cast<std::size_t>(num_classes), 0));
-    for (std::size_t i = 0; i < t; ++i) {
-      for (const auto row : oob_rows_[i]) {
-        const auto probs = trees_[i].leaf_probs(X.row(row));
-        const auto best = static_cast<std::size_t>(
-            std::max_element(probs.begin(), probs.end()) - probs.begin());
-        ++votes[row][best];
-      }
-    }
     std::size_t evaluated = 0;
     std::size_t wrong = 0;
-    for (std::size_t row = 0; row < n; ++row) {
-      const auto total_votes = std::accumulate(votes[row].begin(),
-                                               votes[row].end(),
-                                               std::size_t{0});
+    for (const auto row : rows) {
+      const std::uint32_t* row_votes = votes.data() + row * num_class_sz;
+      const auto total_votes =
+          std::accumulate(row_votes, row_votes + num_class_sz,
+                          std::uint64_t{0});
       if (total_votes == 0) continue;
       ++evaluated;
       const auto best = static_cast<int>(
-          std::max_element(votes[row].begin(), votes[row].end()) -
-          votes[row].begin());
+          std::max_element(row_votes, row_votes + num_class_sz) - row_votes);
       if (best != y[row]) ++wrong;
     }
     if (evaluated > 0) {
@@ -275,8 +349,18 @@ RandomForestRegressor::RandomForestRegressor(ForestConfig config,
 }
 
 void RandomForestRegressor::fit(const Matrix& X, std::span<const double> y) {
+  std::vector<std::size_t> all(X.rows());
+  std::iota(all.begin(), all.end(), 0);
+  fit_rows(X, y, all, nullptr);
+}
+
+void RandomForestRegressor::fit_rows(
+    const Matrix& X, std::span<const double> y,
+    std::span<const std::size_t> rows,
+    std::shared_ptr<const BinnedDataset> binned) {
   XDMODML_CHECK(X.rows() == y.size() && X.rows() > 0,
                 "fit requires matching non-empty X and y");
+  XDMODML_CHECK(!rows.empty(), "fit_rows requires a non-empty row subset");
   num_features_ = X.cols();
 
   TreeConfig tree_config = config_.tree;
@@ -286,6 +370,7 @@ void RandomForestRegressor::fit(const Matrix& X, std::span<const double> y) {
   if (tree_config.min_samples_leaf < 2) {
     tree_config.min_samples_leaf = 2;  // randomForest regression default ~5
   }
+  binned = ensure_binned(X, tree_config, std::move(binned));
 
   const std::size_t t = config_.num_trees;
   trees_.assign(
@@ -298,29 +383,30 @@ void RandomForestRegressor::fit(const Matrix& X, std::span<const double> y) {
   streams.reserve(t);
   for (std::size_t i = 0; i < t; ++i) streams.push_back(root.split());
 
-  const std::size_t n = X.rows();
-  auto train_tree = [&](std::size_t i) {
-    Rng& rng = streams[i];
+  auto train_range = [&](std::size_t lo, std::size_t hi) {
     std::vector<std::size_t> in_bag;
-    if (config_.bootstrap) {
-      bootstrap_sample(n, rng, in_bag, oob_rows[i]);
-    } else {
-      in_bag.resize(n);
-      std::iota(in_bag.begin(), in_bag.end(), 0);
+    std::vector<char> seen;
+    for (std::size_t i = lo; i < hi; ++i) {
+      Rng& rng = streams[i];
+      if (config_.bootstrap) {
+        bootstrap_sample(rows, rng, in_bag, oob_rows[i], seen);
+      } else {
+        in_bag.assign(rows.begin(), rows.end());
+      }
+      trees_[i].fit(X, {}, y, 0, in_bag, rng, binned.get());
     }
-    trees_[i].fit(X, {}, y, 0, in_bag, rng);
   };
   if (config_.parallel) {
-    ThreadPool::global().parallel_for(0, t, train_tree);
+    ThreadPool::global().parallel_for_ranges(0, t, 1, train_range);
   } else {
-    for (std::size_t i = 0; i < t; ++i) train_tree(i);
+    train_range(0, t);
   }
 
   // OOB MSE.
   oob_mse_ = -1.0;
   if (config_.bootstrap) {
-    std::vector<double> pred_sum(n, 0.0);
-    std::vector<std::size_t> pred_count(n, 0);
+    std::vector<double> pred_sum(X.rows(), 0.0);
+    std::vector<std::size_t> pred_count(X.rows(), 0);
     for (std::size_t i = 0; i < t; ++i) {
       for (const auto row : oob_rows[i]) {
         pred_sum[row] += trees_[i].leaf_value(X.row(row));
@@ -329,7 +415,7 @@ void RandomForestRegressor::fit(const Matrix& X, std::span<const double> y) {
     }
     double se = 0.0;
     std::size_t evaluated = 0;
-    for (std::size_t row = 0; row < n; ++row) {
+    for (const auto row : rows) {
       if (pred_count[row] == 0) continue;
       const double pred =
           pred_sum[row] / static_cast<double>(pred_count[row]);
