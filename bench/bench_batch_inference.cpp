@@ -9,14 +9,24 @@
 // classifies on the shared thread pool, and reports jobs/sec for both.
 // On a multi-core host the batched path should scale with the pool size
 // (≥ 2× on 2+ cores); on one core the two are equivalent.
+//
+// `--faults` adds a third arm that re-runs ingest_batch with a
+// recoverable failpoint schedule armed (sparse queue-full rejections and
+// classify delays): the outcomes must stay identical to the fault-free
+// run, and the timing gap quantifies the cost of recovery.  Without the
+// flag no failpoint is armed, so the recorded medians double as the
+// "unarmed macros are free" perf check against the BENCH JSON baseline.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/classification_service.hpp"
+#include "util/failpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -49,49 +59,96 @@ std::vector<supremm::JobSummary> unidentified_pool(
   return jobs;
 }
 
-double seconds_since(
-    const std::chrono::steady_clock::time_point& start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-void run_experiment() {
+void run_experiment(bool faults) {
   auto gen = workload::WorkloadGenerator::standard({}, 515);
   const auto clf = train_classifier(gen);
   const auto jobs = unidentified_pool(gen, scaled(1500));
+  auto& json = BenchJsonRecorder::instance();
+  const std::size_t threads = ThreadPool::global().size();
 
   std::printf("=== batched inference: %zu unidentified jobs, %zu pool "
-              "thread(s) ===\n\n",
-              jobs.size(), ThreadPool::global().size());
+              "thread(s)%s ===\n\n",
+              jobs.size(), threads, faults ? ", --faults arm on" : "");
 
-  core::ClassificationService serial(clf, 0.5);
-  auto start = std::chrono::steady_clock::now();
-  for (const auto& job : jobs) serial.ingest(job);
-  const double serial_s = seconds_since(start);
+  std::optional<core::ClassificationService::Stats> serial_stats;
+  const auto serial_t = time_median_ms(
+      [&] {
+        core::ClassificationService service(clf, 0.5);
+        for (const auto& job : jobs) service.ingest(job);
+        serial_stats = service.stats();
+      },
+      /*repeats=*/3);
 
-  core::ClassificationService batched(clf, 0.5);
-  start = std::chrono::steady_clock::now();
-  batched.ingest_batch(jobs);
-  const double batch_s = seconds_since(start);
+  std::optional<core::ClassificationService::Stats> batch_stats;
+  const auto batch_t = time_median_ms(
+      [&] {
+        core::ClassificationService service(clf, 0.5);
+        service.ingest_batch(jobs);
+        batch_stats = service.stats();
+      },
+      /*repeats=*/3);
 
-  if (serial.stats().attributed != batched.stats().attributed ||
-      serial.stats().total() != batched.stats().total()) {
+  if (serial_stats->attributed != batch_stats->attributed ||
+      serial_stats->total() != batch_stats->total()) {
     std::printf("ERROR: serial and batched outcomes disagree\n");
     return;
   }
+  json.record("bench_batch_inference", "serial_ingest", serial_t.median_ms,
+              jobs.size(), 1, serial_t.repeats);
+  json.record("bench_batch_inference", "ingest_batch", batch_t.median_ms,
+              jobs.size(), threads, batch_t.repeats);
 
   const double n = static_cast<double>(jobs.size());
-  TextTable table({"path", "seconds", "jobs/sec"});
-  table.add_row({"serial ingest", format_double(serial_s, 3),
-                 format_double(n / serial_s, 0)});
-  table.add_row({"ingest_batch", format_double(batch_s, 3),
-                 format_double(n / batch_s, 0)});
-  std::printf("%s", table.render().c_str());
+  TextTable table({"path", "ms (median)", "jobs/sec"});
+  table.add_row({"serial ingest", format_double(serial_t.median_ms, 1),
+                 format_double(n / serial_t.median_ms * 1000.0, 0)});
+  table.add_row({"ingest_batch", format_double(batch_t.median_ms, 1),
+                 format_double(n / batch_t.median_ms * 1000.0, 0)});
+
+  if (faults) {
+    // Recoverable-by-construction schedule: queue-full degrades submit()
+    // to inline execution, the sparse delay models a slow classifier
+    // with no deadline configured.  Neither changes any outcome, so the
+    // golden comparison below must hold bit-for-bit.
+    std::optional<core::ClassificationService::Stats> fault_stats;
+    fp::reset();
+    fp::arm_from_spec(
+        "thread_pool.submit.queue_full=one_in(64):return;"
+        "service.classify=one_in(512):delay(1)",
+        /*seed=*/99);
+    const auto fault_t = time_median_ms(
+        [&] {
+          core::ClassificationService service(clf, 0.5);
+          service.ingest_batch(jobs);
+          fault_stats = service.stats();
+        },
+        /*repeats=*/3);
+    const auto queue_faults =
+        fp::site_stats("thread_pool.submit.queue_full").triggers;
+    const auto classify_delays = fp::site_stats("service.classify").triggers;
+    fp::reset();
+    if (fault_stats->attributed != batch_stats->attributed ||
+        fault_stats->total() != batch_stats->total() ||
+        fault_stats->failed != 0) {
+      std::printf("ERROR: faulted batch outcomes diverged from golden run\n");
+      return;
+    }
+    json.record("bench_batch_inference", "ingest_batch_faults",
+                fault_t.median_ms, jobs.size(), threads, fault_t.repeats);
+    table.add_row({"ingest_batch --faults", format_double(fault_t.median_ms, 1),
+                   format_double(n / fault_t.median_ms * 1000.0, 0)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nfaults arm: %llu queue-full rejections, %llu injected "
+                "delays — all recovered, outcomes identical to golden run\n",
+                static_cast<unsigned long long>(queue_faults),
+                static_cast<unsigned long long>(classify_delays));
+  } else {
+    std::printf("%s", table.render().c_str());
+  }
   std::printf("\nbatched speedup: %.2fx (%zu attributed, %zu unresolved "
               "on both paths)\n",
-              serial_s / batch_s, serial.stats().attributed,
-              serial.stats().unresolved);
+              serial_t.median_ms / batch_t.median_ms,
+              serial_stats->attributed, serial_stats->unresolved);
 }
 
 void bm_serial_ingest(benchmark::State& state) {
@@ -142,7 +199,12 @@ BENCHMARK(bm_predict_proba_batch)->Arg(500)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_experiment();
+  bool faults = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) faults = true;
+  }
+  xdmodml::bench::BenchJsonRecorder::instance().parse_args(argc, argv);
+  run_experiment(faults);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

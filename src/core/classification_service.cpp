@@ -1,8 +1,10 @@
 #include "core/classification_service.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -26,6 +28,16 @@ struct ServiceMetrics {
       obs::MetricsRegistry::instance().histogram("service.commit_ns", "ns");
   obs::Histogram& batch_ns = obs::MetricsRegistry::instance().histogram(
       "service.ingest_batch_ns", "ns");
+  obs::Counter& failed =
+      obs::MetricsRegistry::instance().counter("service.failed");
+  obs::Counter& classify_failures =
+      obs::MetricsRegistry::instance().counter("fail.service.classify");
+  obs::Counter& timeouts =
+      obs::MetricsRegistry::instance().counter("fail.service.timeout");
+  obs::Counter& batch_failures =
+      obs::MetricsRegistry::instance().counter("fail.service.batch");
+  obs::Counter& batch_serial_retries =
+      obs::MetricsRegistry::instance().counter("retry.service.batch_serial");
 
   static ServiceMetrics& get() {
     static ServiceMetrics m;
@@ -37,7 +49,13 @@ struct ServiceMetrics {
 
 ClassificationService::ClassificationService(
     std::shared_ptr<const JobClassifier> classifier, double threshold)
-    : classifier_(std::move(classifier)), threshold_(threshold) {
+    : ClassificationService(std::move(classifier), threshold, Limits{}) {}
+
+ClassificationService::ClassificationService(
+    std::shared_ptr<const JobClassifier> classifier, double threshold,
+    Limits limits)
+    : classifier_(std::move(classifier)), threshold_(threshold),
+      limits_(limits) {
   XDMODML_CHECK(classifier_ != nullptr && classifier_->trained(),
                 "service requires a trained classifier");
   XDMODML_CHECK(threshold >= 0.0 && threshold <= 1.0,
@@ -48,64 +66,142 @@ ClassificationService::IngestResult ClassificationService::classify(
     const supremm::JobSummary& job) const {
   // Unnamed span: per-job latency lands in the histogram without
   // flooding the trace ring (batches classify thousands of jobs).
-  obs::ScopedTimer timer(ServiceMetrics::get().classify_ns);
+  auto& metrics = ServiceMetrics::get();
+  obs::ScopedTimer timer(metrics.classify_ns);
+  // The deadline clock runs only when a deadline is set, keeping the
+  // no-limits hot path clock-free (util/metrics.hpp cost rules).
+  using Clock = std::chrono::steady_clock;
+  const auto start = limits_.classify_timeout_ms > 0 ? Clock::now()
+                                                     : Clock::time_point{};
   IngestResult result;
-  if (job.label_source == supremm::LabelSource::kIdentified) {
-    result.outcome = Outcome::kIdentified;
+  try {
+    // `service.classify` is the catch-all request fault: an error policy
+    // models a classifier crash, a delay policy a slow model (which the
+    // deadline check below then turns into a structured timeout).
+    XDMODML_FAILPOINT("service.classify");
+    if (job.label_source == supremm::LabelSource::kIdentified) {
+      result.outcome = Outcome::kIdentified;
+    } else {
+      result.prediction = classifier_->predict(job);
+      result.outcome = result.prediction.probability >= threshold_
+                           ? Outcome::kAttributed
+                           : Outcome::kUnresolved;
+    }
+  } catch (const std::exception& e) {
+    result.outcome = Outcome::kFailed;
+    result.error = std::string("classify failed: ") + e.what();
+    metrics.classify_failures.inc();
     return result;
   }
-  result.prediction = classifier_->predict(job);
-  result.outcome = result.prediction.probability >= threshold_
-                       ? Outcome::kAttributed
-                       : Outcome::kUnresolved;
+  if (limits_.classify_timeout_ms > 0) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Clock::now() - start);
+    if (elapsed.count() >= 0 &&
+        static_cast<std::uint64_t>(elapsed.count()) >
+            limits_.classify_timeout_ms) {
+      // Cooperative deadline: the work already ran, but an overrun
+      // request is reported as a failure instead of a silently slow
+      // success, so callers can shed load deterministically.
+      result.outcome = Outcome::kFailed;
+      result.error = "classify deadline exceeded (" +
+                     std::to_string(elapsed.count()) + " ms > " +
+                     std::to_string(limits_.classify_timeout_ms) + " ms)";
+      metrics.timeouts.inc();
+    }
+  }
   return result;
 }
 
 void ClassificationService::commit(supremm::JobSummary job,
-                                   const IngestResult& result) {
+                                   IngestResult& result) {
   auto& metrics = ServiceMetrics::get();
   obs::ScopedTimer timer(metrics.commit_ns);
   std::lock_guard lock(mutex_);
+  if (result.outcome == Outcome::kFailed) {
+    ++stats_.failed;
+    metrics.failed.inc();
+    warehouse_.dead_letter(std::move(job), result.error);
+    return;
+  }
+  if (result.outcome == Outcome::kAttributed) {
+    // Store the attribution so warehouse breakdowns include it; the
+    // label_source still says where the label came from.
+    job.application = result.prediction.class_name;
+  }
+  // Reject before tallying so a refused row never skews the outcome
+  // counters (tallies and warehouse contents move together or not at
+  // all).  The attributed CPU hours are read before the move below.
+  if (auto reason = xdmod::Warehouse::validate(job)) {
+    result.outcome = Outcome::kFailed;
+    result.error = "warehouse rejected job: " + *reason;
+    ++stats_.failed;
+    metrics.failed.inc();
+    warehouse_.dead_letter(std::move(job), std::move(*reason));
+    return;
+  }
+  const double cpu_hours =
+      job.wall_seconds / 3600.0 * job.nodes * job.cores_per_node;
+  try {
+    warehouse_.ingest(std::move(job));
+  } catch (const InvalidArgument& e) {
+    // Unreachable for real data (validated above); an injected
+    // `warehouse.validate.reject` with a probabilistic policy can
+    // disagree between the two checks.  Scalar fields survive the move,
+    // so the dead letter still names the job.
+    result.outcome = Outcome::kFailed;
+    result.error = e.what();
+    ++stats_.failed;
+    metrics.failed.inc();
+    warehouse_.dead_letter(std::move(job), e.what());
+    return;
+  }
   switch (result.outcome) {
     case Outcome::kIdentified:
       ++stats_.identified;
       metrics.identified.inc();
       break;
-    case Outcome::kAttributed: {
+    case Outcome::kAttributed:
       ++stats_.attributed;
       metrics.attributed.inc();
-      // Store the attribution so warehouse breakdowns include it; the
-      // label_source still says where the label came from.
-      job.application = result.prediction.class_name;
-      const double cpu_hours = job.wall_seconds / 3600.0 * job.nodes *
-                               job.cores_per_node;
       attributed_cpu_hours_[result.prediction.class_name] += cpu_hours;
       break;
-    }
     case Outcome::kUnresolved:
       ++stats_.unresolved;
       metrics.unresolved.inc();
       break;
+    case Outcome::kFailed:
+      break;  // handled above
   }
-  warehouse_.ingest(std::move(job));
 }
 
 ClassificationService::IngestResult ClassificationService::ingest(
     supremm::JobSummary job) {
-  const IngestResult result = classify(job);
+  IngestResult result = classify(job);
   commit(std::move(job), result);
   return result;
 }
 
 std::vector<ClassificationService::IngestResult>
 ClassificationService::ingest_batch(std::vector<supremm::JobSummary> jobs) {
-  obs::ScopedTimer span(ServiceMetrics::get().batch_ns, "service.ingest_batch");
+  auto& metrics = ServiceMetrics::get();
+  obs::ScopedTimer span(metrics.batch_ns, "service.ingest_batch");
   std::vector<IngestResult> results(jobs.size());
   // Phase 1: classify every job in parallel — the classifier is
   // immutable, so this needs no lock and dominates the ingest cost.
-  ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t i) {
-    results[i] = classify(jobs[i]);
-  });
+  try {
+    ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t i) {
+      results[i] = classify(jobs[i]);
+    });
+  } catch (const fp::FailpointError&) {
+    // Pool-infrastructure fault (`thread_pool.chunk`): classify is pure
+    // and deterministic, so rerunning the whole batch serially yields
+    // the exact results the parallel pass would have produced.
+    metrics.batch_failures.inc();
+    metrics.batch_serial_retries.inc();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = classify(jobs[i]);
+    }
+  }
   // Phase 2: apply the state updates in job order so the warehouse and
   // tallies match a serial ingest loop exactly.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -131,7 +227,16 @@ std::string ClassificationService::report() const {
   os << "classification service: " << stats_.total() << " jobs ingested ("
      << stats_.identified << " identified, " << stats_.attributed
      << " attributed at p >= " << threshold_ << ", " << stats_.unresolved
-     << " unresolved)\n";
+     << " unresolved, " << stats_.failed << " failed)\n";
+  if (!warehouse_.dead_letters().empty()) {
+    // Surfacing the dead letters is what keeps "recovered" honest: every
+    // job the serving path refused is accounted for here, not dropped.
+    TextTable table({"dead-lettered job", "reason"});
+    for (const auto& dl : warehouse_.dead_letters()) {
+      table.add_row({std::to_string(dl.job.job_id), dl.reason});
+    }
+    os << table.render();
+  }
   if (!attributed_cpu_hours_.empty()) {
     TextTable table({"attributed application", "CPU hours"});
     for (const auto& [app, hours] : attributed_cpu_hours_) {

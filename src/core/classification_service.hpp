@@ -20,6 +20,13 @@
 // and a batch-ingest span are recorded through util/metrics.hpp /
 // util/trace.hpp; `report()` embeds the registry snapshot when the
 // XDMODML_METRICS toggle is on.
+//
+// Fault contract: no exception escapes `ingest` / `ingest_batch` for a
+// per-job failure.  A classify throw, an overrun classify deadline or a
+// warehouse reject becomes Outcome::kFailed with `IngestResult::error`
+// set and the job dead-lettered in the warehouse; a thread-pool fault
+// during batch classification falls back to a serial pass.  Every such
+// recovery is counted under fail.* / retry.* in the metrics registry.
 #pragma once
 
 #include <cstddef>
@@ -37,21 +44,37 @@ namespace xdmodml::core {
 /// Streaming classify-and-ingest service.
 class ClassificationService {
  public:
+  /// Serving limits.  `classify_timeout_ms` is a cooperative deadline:
+  /// classification is never preempted, but a request whose classify
+  /// step overruns the deadline comes back as Outcome::kFailed (and is
+  /// dead-lettered, not stored) instead of being silently slow.  0
+  /// disables the check.
+  struct Limits {
+    std::uint64_t classify_timeout_ms = 0;
+  };
+
   /// Shares a *trained* classifier (several services / threads may use
   /// the same immutable model).  `threshold` is the minimum top-class
-  /// probability for attributing unidentified jobs.
+  /// probability for attributing unidentified jobs.  (Two overloads
+  /// because a nested type with default member initializers cannot be a
+  /// `= {}` default argument inside its enclosing class.)
   ClassificationService(std::shared_ptr<const JobClassifier> classifier,
                         double threshold = 0.9);
+  ClassificationService(std::shared_ptr<const JobClassifier> classifier,
+                        double threshold, Limits limits);
 
   /// Outcome of ingesting one job.
   enum class Outcome {
     kIdentified,   ///< Lariat already knew the application
     kAttributed,   ///< classifier assigned a label above threshold
     kUnresolved,   ///< unidentified and below threshold
+    kFailed,       ///< classify threw / deadline overrun / warehouse
+                   ///< reject — job dead-lettered, error says why
   };
   struct IngestResult {
     Outcome outcome = Outcome::kUnresolved;
     LabeledPrediction prediction;  ///< filled for non-identified jobs
+    std::string error;             ///< non-empty iff outcome == kFailed
   };
 
   /// Classifies (when needed) and stores the job.  Attributed jobs are
@@ -98,14 +121,16 @@ class ClassificationService {
   }
   const JobClassifier& classifier() const { return *classifier_; }
   double threshold() const { return threshold_; }
+  const Limits& limits() const { return limits_; }
 
   /// Running tallies.
   struct Stats {
     std::size_t identified = 0;
     std::size_t attributed = 0;
     std::size_t unresolved = 0;
+    std::size_t failed = 0;  ///< structured-error outcomes (dead-lettered)
     std::size_t total() const {
-      return identified + attributed + unresolved;
+      return identified + attributed + unresolved + failed;
     }
   };
   /// Consistent snapshot of the tallies.
@@ -119,13 +144,19 @@ class ClassificationService {
 
  private:
   /// Classifies a non-identified job (no lock held, no state touched).
+  /// Never throws: any classifier exception (or the injected
+  /// `service.classify` fault) becomes a kFailed result, and an overrun
+  /// classify deadline is downgraded to kFailed after the fact.
   IngestResult classify(const supremm::JobSummary& job) const;
 
   /// Applies one classified result under `mutex_` and stores the job.
-  void commit(supremm::JobSummary job, const IngestResult& result);
+  /// A warehouse reject downgrades `result` to kFailed and dead-letters
+  /// the job instead of letting the exception escape the serving path.
+  void commit(supremm::JobSummary job, IngestResult& result);
 
   std::shared_ptr<const JobClassifier> classifier_;
   double threshold_;
+  Limits limits_;
   mutable std::mutex mutex_;  ///< guards everything below
   xdmod::Warehouse warehouse_;
   Stats stats_;

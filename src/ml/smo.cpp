@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/metrics.hpp"
 
 namespace xdmodml::ml {
@@ -25,6 +26,12 @@ struct GramCacheMetrics {
       obs::MetricsRegistry::instance().gauge("gram_cache.resident_rows");
   obs::Gauge& resident_bytes =
       obs::MetricsRegistry::instance().gauge("gram_cache.resident_bytes");
+  obs::Counter& uncached_rows =
+      obs::MetricsRegistry::instance().counter("gram_cache.uncached_rows");
+  obs::Counter& alloc_failures =
+      obs::MetricsRegistry::instance().counter("fail.gram_cache.alloc");
+  obs::Counter& evict_retries =
+      obs::MetricsRegistry::instance().counter("retry.gram_cache.evict_retry");
 
   static GramCacheMetrics& get() {
     static GramCacheMetrics m;
@@ -124,9 +131,50 @@ std::size_t SharedGramCache::rows_for_budget(std::size_t n,
   return std::max<std::size_t>(2, budget_bytes / (n * elem));
 }
 
+SharedGramCache::RowPtr SharedGramCache::compute_row(std::size_t i) const {
+  // The engine always emits doubles; the float32 path narrows once at
+  // fill time so every later reuse reads half the bytes.  This is the
+  // only place a row payload is built — the cached, bypass and
+  // evict-retry paths all share it, which is what makes the degraded
+  // modes bit-identical to the healthy one.
+  auto fresh = std::make_shared<Row>();
+  if (precision_ == GramPrecision::kFloat32) {
+    std::vector<double> scratch(engine_.rows());
+    engine_.fill_row(i, scratch);
+    fresh->f32_.resize(scratch.size());
+    for (std::size_t j = 0; j < scratch.size(); ++j) {
+      fresh->f32_[j] = static_cast<float>(scratch[j]);
+    }
+  } else {
+    fresh->f64_.resize(engine_.rows());
+    engine_.fill_row(i, fresh->f64_);
+  }
+  return fresh;
+}
+
+void SharedGramCache::evict_all() {
+  auto& metrics = GramCacheMetrics::get();
+  std::lock_guard lock(mutex_);
+  const auto dropped = static_cast<std::int64_t>(rows_.size());
+  if (dropped == 0) return;
+  evictions_ += rows_.size();
+  metrics.evictions.inc(rows_.size());
+  rows_.clear();
+  lru_.clear();
+  metrics.resident_rows.add(-dropped);
+  metrics.resident_bytes.add(-dropped *
+                             static_cast<std::int64_t>(row_bytes()));
+}
+
 SharedGramCache::RowPtr SharedGramCache::row(std::size_t i) {
   XDMODML_CHECK(i < engine_.rows(), "shared kernel row index out of range");
   auto& metrics = GramCacheMetrics::get();
+  // Budget-exceeded fallback: compute the row, hand it out, never touch
+  // the LRU.  Slower (no reuse) but numerically indistinguishable.
+  if (bypass() || fp::triggered("gram_cache.budget")) {
+    metrics.uncached_rows.inc();
+    return compute_row(i);
+  }
   {
     std::lock_guard lock(mutex_);
     const auto it = rows_.find(i);
@@ -141,20 +189,24 @@ SharedGramCache::RowPtr SharedGramCache::row(std::size_t i) {
   }
   // Compute outside the lock so concurrent misses on different rows fill
   // in parallel; a race on the *same* row does redundant work but the
-  // first insert wins and both callers see a valid row.  The engine
-  // always emits doubles; the float32 path narrows once at fill time so
-  // every later reuse reads half the bytes.
-  auto fresh = std::make_shared<Row>();
-  if (precision_ == GramPrecision::kFloat32) {
-    std::vector<double> scratch(engine_.rows());
-    engine_.fill_row(i, scratch);
-    fresh->f32_.resize(scratch.size());
-    for (std::size_t j = 0; j < scratch.size(); ++j) {
-      fresh->f32_[j] = static_cast<float>(scratch[j]);
-    }
-  } else {
-    fresh->f64_.resize(engine_.rows());
-    engine_.fill_row(i, fresh->f64_);
+  // first insert wins and both callers see a valid row.
+  RowPtr fresh;
+  try {
+    XDMODML_FAILPOINT("gram_cache.alloc");
+    fresh = compute_row(i);
+  } catch (const std::bad_alloc&) {
+    // Allocation pressure: this cache is the dominant consumer, so shed
+    // every resident row and retry once with the budget to ourselves.
+    metrics.alloc_failures.inc();
+    metrics.evict_retries.inc();
+    evict_all();
+    fresh = compute_row(i);
+  } catch (const fp::FailpointError&) {
+    // Injected stand-in for the bad_alloc above — same recovery.
+    metrics.alloc_failures.inc();
+    metrics.evict_retries.inc();
+    evict_all();
+    fresh = compute_row(i);
   }
   std::lock_guard lock(mutex_);
   const auto it = rows_.find(i);

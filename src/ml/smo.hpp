@@ -19,6 +19,7 @@
 // convergence check (and whenever the active set optimizes out early).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <list>
@@ -115,6 +116,17 @@ enum class GramPrecision { kFloat32, kFloat64 };
 /// evictions; a row raced by two threads may be computed twice but is
 /// inserted once.  Rows are stored in `precision` (float32 by default;
 /// see GramPrecision) and always read back as double.
+///
+/// Degraded modes (both produce bit-identical rows — the bypass path
+/// shares the cached path's fill-and-narrow code):
+///  - Row-payload allocation failure (std::bad_alloc, or the injected
+///    `gram_cache.alloc` fault) evicts every resident row and retries the
+///    compute once before giving up (`fail.gram_cache.alloc` /
+///    `retry.gram_cache.evict_retry` metrics).
+///  - When the memory budget is exceeded (`set_bypass(true)`, or the
+///    `gram_cache.budget` failpoint armed with a `return` policy), row()
+///    computes without caching and the LRU is left untouched
+///    (`gram_cache.uncached_rows` metric).
 class SharedGramCache {
  public:
   SharedGramCache(const Matrix& X, Kernel kernel, std::size_t capacity_rows,
@@ -152,8 +164,16 @@ class SharedGramCache {
 
   using RowPtr = std::shared_ptr<const Row>;
 
-  /// Full kernel row i of the backing matrix (computed/cached on demand).
+  /// Full kernel row i of the backing matrix (computed/cached on demand;
+  /// computed-only in bypass mode — see the class comment).
   RowPtr row(std::size_t i);
+
+  /// Compute-without-caching mode: row() returns fresh rows and never
+  /// touches the LRU.  Identical numerics to the cached path.
+  void set_bypass(bool bypass) {
+    bypass_.store(bypass, std::memory_order_relaxed);
+  }
+  bool bypass() const { return bypass_.load(std::memory_order_relaxed); }
 
   /// k(x_i, x_i) in O(1) from the cached norms (always full precision —
   /// the solver's curvature terms never pay the float32 rounding).
@@ -193,10 +213,18 @@ class SharedGramCache {
   std::size_t evictions() const { return stats().evictions; }
 
  private:
+  /// Fills row i at this cache's precision (no locking, no LRU).  The
+  /// single compute used by the cached, bypass and evict-retry paths.
+  RowPtr compute_row(std::size_t i) const;
+  /// Allocation-pressure fallback: drops every resident row (gauges
+  /// updated) so the retried compute has the whole budget to itself.
+  void evict_all();
+
   GramRowEngine engine_;
   std::vector<double> diag_;
   std::size_t capacity_;
   GramPrecision precision_;
+  std::atomic<bool> bypass_{false};
   mutable std::mutex mutex_;
   std::list<std::size_t> lru_;  // most recent at front
   struct Entry {

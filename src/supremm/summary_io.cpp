@@ -6,6 +6,7 @@
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace xdmodml::supremm {
 
@@ -97,27 +98,39 @@ std::vector<JobSummary> read_jobs_csv(std::istream& in) {
                 "job CSV header does not match the interchange format");
   std::vector<JobSummary> jobs;
   jobs.reserve(doc.rows.size());
-  for (const auto& row : doc.rows) {
-    JobSummary job;
-    std::size_t c = 0;
-    job.job_id = static_cast<std::uint64_t>(parse_double(row[c++]));
-    job.executable_path = row[c++];
-    job.application = row[c++];
-    job.category = row[c++];
-    job.label_source = parse_label_source(row[c++]);
-    job.nodes = static_cast<std::uint32_t>(parse_double(row[c++]));
-    job.cores_per_node = static_cast<std::uint32_t>(parse_double(row[c++]));
-    job.wall_seconds = parse_double(row[c++]);
-    job.start_epoch_seconds = parse_double(row[c++]);
-    job.exit_code = static_cast<int>(parse_double(row[c++]));
-    job.application_succeeded = row[c++] == "1";
-    for (const auto& info : metric_catalog()) {
-      job.set_mean(info.id, parse_double(row[c++]));
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
+    // Any per-field failure (bad numeric, unknown label source, or the
+    // injected `summary_io.read.row` fault) is rethrown with the row
+    // position and job id, so a million-row ingest names the one bad
+    // record instead of surfacing a bare "bad numeric field".
+    try {
+      XDMODML_FAILPOINT("summary_io.read.row");
+      JobSummary job;
+      std::size_t c = 0;
+      job.job_id = static_cast<std::uint64_t>(parse_double(row[c++]));
+      job.executable_path = row[c++];
+      job.application = row[c++];
+      job.category = row[c++];
+      job.label_source = parse_label_source(row[c++]);
+      job.nodes = static_cast<std::uint32_t>(parse_double(row[c++]));
+      job.cores_per_node = static_cast<std::uint32_t>(parse_double(row[c++]));
+      job.wall_seconds = parse_double(row[c++]);
+      job.start_epoch_seconds = parse_double(row[c++]);
+      job.exit_code = static_cast<int>(parse_double(row[c++]));
+      job.application_succeeded = row[c++] == "1";
+      for (const auto& info : metric_catalog()) {
+        job.set_mean(info.id, parse_double(row[c++]));
+      }
+      for (const auto& info : metric_catalog()) {
+        if (info.has_cov) job.set_cov(info.id, parse_double(row[c++]));
+      }
+      jobs.push_back(std::move(job));
+    } catch (const std::exception& e) {  // std::stod throws std:: types too
+      throw InvalidArgument("job CSV data row " + std::to_string(r + 1) +
+                            " (job_id field '" + row[0] +
+                            "'): " + e.what());
     }
-    for (const auto& info : metric_catalog()) {
-      if (info.has_cov) job.set_cov(info.id, parse_double(row[c++]));
-    }
-    jobs.push_back(std::move(job));
   }
   return jobs;
 }

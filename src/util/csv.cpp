@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace xdmodml {
 
@@ -85,10 +86,26 @@ CsvDocument parse_csv(std::istream& in) {
   std::string line;
   std::string record;
   bool have_header = false;
+  std::size_t line_no = 0;           // physical lines consumed
+  std::size_t record_start_line = 0; // where the current record began
   while (std::getline(in, line)) {
+    ++line_no;
+    // Fault sites for the ingest pipeline: `csv.parse.read` models an
+    // I/O error mid-file (surfaced with the exact position), while
+    // `csv.parse.truncate` models a short read — the stream simply ends
+    // here, and the unterminated-record check below decides whether
+    // that is detectable.
+    try {
+      XDMODML_FAILPOINT("csv.parse.read");
+    } catch (const fp::FailpointError& e) {
+      throw ComputeError("CSV read failed at line " +
+                         std::to_string(line_no) + ": " + e.what());
+    }
+    if (fp::triggered("csv.parse.truncate")) break;
     if (record.empty()) {
       if (line.empty()) continue;
       record = std::move(line);
+      record_start_line = line_no;
     } else {
       // Still inside a quoted field: the writer emitted an embedded
       // newline, which getline consumed — restore it and keep reading.
@@ -105,16 +122,24 @@ CsvDocument parse_csv(std::istream& in) {
       doc.header = std::move(fields);
       have_header = true;
     } else {
+      // The row number counts logical records, the line number physical
+      // lines: once any earlier field contained a quoted newline the
+      // two diverge, and only the *line* locates the bad record in an
+      // editor.  record_start_line (not line_no) is the record's first
+      // physical line, which is also correct for multi-line records.
       XDMODML_CHECK(fields.size() == doc.header.size(),
                     "CSV data row " + std::to_string(doc.rows.size() + 1) +
-                        " has " + std::to_string(fields.size()) +
+                        " (line " + std::to_string(record_start_line) +
+                        ") has " + std::to_string(fields.size()) +
                         " fields; the header has " +
                         std::to_string(doc.header.size()));
       doc.rows.push_back(std::move(fields));
     }
   }
   XDMODML_CHECK(record.empty(),
-                "CSV input ends inside an unterminated quoted field");
+                "CSV input ends inside an unterminated quoted field "
+                "starting at line " +
+                    std::to_string(record_start_line));
   return doc;
 }
 

@@ -40,7 +40,12 @@ std::string csv_escape(const std::string& field);
 
 /// Parses a full CSV document (first row is the header).  Quoted fields
 /// may contain embedded newlines; rows whose width does not match the
-/// header are rejected with the offending row number in the message.
+/// header are rejected with the offending row number *and* the physical
+/// line the record starts on (the two diverge once any earlier field
+/// contained a quoted newline).  Failpoint sites: `csv.parse.read`
+/// (injected I/O error, surfaced as ComputeError with the line) and
+/// `csv.parse.truncate` (short read — the stream ends early; truncation
+/// inside a record is caught by the unterminated-field check).
 CsvDocument parse_csv(std::istream& in);
 
 /// Parses one logical CSV record into fields.  Newlines inside quoted

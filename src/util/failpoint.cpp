@@ -1,0 +1,358 @@
+#include "util/failpoint.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace xdmodml::fp {
+
+namespace detail {
+std::atomic<int> g_armed_count{kUninitialized};
+}  // namespace detail
+
+namespace {
+
+/// FNV-1a, so every site gets a decorrelated stream from one seed.
+std::uint64_t hash_site(const std::string& site) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : site) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// One registered site.  Stats outlive disarming; the decision state
+/// (rng, trigger budget) is taken under the site mutex so the per-site
+/// fire/skip sequence is deterministic even when threads race the site.
+struct Site {
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> triggers{0};
+
+  std::mutex mutex;  ///< guards everything below
+  bool is_armed = false;
+  Policy policy;
+  Rng rng{0};
+  std::uint64_t fired = 0;  ///< triggers under the *current* arming
+};
+
+struct Registry {
+  std::mutex mutex;  ///< guards the map and armed-count recomputation
+  std::map<std::string, std::shared_ptr<Site>> sites;
+
+  static Registry& instance() {
+    // Leaked like the metrics registry: worker threads may evaluate
+    // failpoints during static destruction.
+    static Registry* r = new Registry();
+    return *r;
+  }
+
+  /// Recomputes the macro gate; call under `mutex`.
+  void publish_armed_count() {
+    int armed = 0;
+    for (const auto& [name, site] : sites) {
+      std::lock_guard site_lock(site->mutex);
+      if (site->is_armed) ++armed;
+    }
+    detail::g_armed_count.store(armed, std::memory_order_relaxed);
+  }
+};
+
+void arm_locked(Registry& reg, const std::string& site_name, Policy policy,
+                std::uint64_t seed) {
+  auto& slot = reg.sites[site_name];
+  if (!slot) slot = std::make_shared<Site>();
+  {
+    std::lock_guard site_lock(slot->mutex);
+    slot->is_armed = true;
+    slot->policy = policy;
+    slot->rng = Rng(seed ^ hash_site(site_name));
+    slot->fired = 0;
+  }
+  reg.publish_armed_count();
+}
+
+std::size_t arm_from_spec_impl(Registry& reg, const std::string& spec,
+                               std::uint64_t seed) {
+  std::size_t armed = 0;
+  for (const auto& entry : split(spec, ';')) {
+    const std::string trimmed = trim(entry);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    XDMODML_CHECK(eq != std::string::npos && eq > 0,
+                  "failpoint spec entry needs site=policy: " + trimmed);
+    const std::string site = trim(trimmed.substr(0, eq));
+    const Policy policy = Policy::parse(trimmed.substr(eq + 1));
+    arm_locked(reg, site, policy, seed);
+    ++armed;
+  }
+  return armed;
+}
+
+std::size_t arm_from_env_impl(Registry& reg) {
+  const char* spec = std::getenv("XDMODML_FAILPOINTS");
+  std::uint64_t seed = 0;
+  if (const char* s = std::getenv("XDMODML_FAILPOINT_SEED")) {
+    seed = std::strtoull(s, nullptr, 10);
+  }
+  if (spec == nullptr || *spec == '\0') return 0;
+  return arm_from_spec_impl(reg, spec, seed);
+}
+
+/// One-time env read.  Every public entry point and the first macro
+/// evaluation funnel through here; afterwards g_armed_count holds the
+/// real armed-site count and the not-armed macro path is one load.
+void ensure_init(Registry& reg) {
+  static std::once_flag once;
+  std::call_once(once, [&reg] {
+    std::lock_guard lock(reg.mutex);
+    arm_from_env_impl(reg);
+    reg.publish_armed_count();  // 0 when the env armed nothing
+  });
+}
+
+/// Outcome of one evaluation, decided under the site lock and applied
+/// outside it (sleeping or throwing under a lock would serialize every
+/// other site).
+enum class Fired { kNo, kNoop, kError, kReturnEarly, kDelay };
+
+Fired decide(Site& site) {
+  site.evaluations.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(site.mutex);
+  if (!site.is_armed) return Fired::kNo;
+  const Policy& p = site.policy;
+  if (p.max_triggers != 0 && site.fired >= p.max_triggers) return Fired::kNo;
+  if (p.one_in > 1 && site.rng.uniform_index(p.one_in) != 0) return Fired::kNo;
+  ++site.fired;
+  site.triggers.fetch_add(1, std::memory_order_relaxed);
+  switch (p.action) {
+    case Policy::Action::kNoop:
+      return Fired::kNoop;
+    case Policy::Action::kError:
+      return Fired::kError;
+    case Policy::Action::kReturnEarly:
+      return Fired::kReturnEarly;
+    case Policy::Action::kDelay:
+      return Fired::kDelay;
+  }
+  return Fired::kNoop;  // unreachable
+}
+
+/// Shared slow path for the two macros; returns true when a
+/// return-early policy fired.
+bool evaluate_impl(const char* site_name) {
+  auto& reg = Registry::instance();
+  ensure_init(reg);
+  if (detail::g_armed_count.load(std::memory_order_relaxed) <= 0) {
+    return false;  // env armed nothing (first-call funnel) or raced disarm
+  }
+  std::shared_ptr<Site> site;
+  {
+    std::lock_guard lock(reg.mutex);
+    const auto it = reg.sites.find(site_name);
+    if (it == reg.sites.end()) return false;
+    site = it->second;
+  }
+  const Fired fired = decide(*site);
+  if (fired == Fired::kNo || fired == Fired::kNoop) {
+    return false;
+  }
+  static auto& triggers =
+      obs::MetricsRegistry::instance().counter("failpoint.triggers");
+  triggers.inc();
+  switch (fired) {
+    case Fired::kError: {
+      int code;
+      {
+        std::lock_guard lock(site->mutex);
+        code = site->policy.error_code;
+      }
+      throw FailpointError(site_name, code);
+    }
+    case Fired::kDelay: {
+      std::uint64_t ms;
+      {
+        std::lock_guard lock(site->mutex);
+        ms = site->policy.delay_ms;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      return false;
+    }
+    case Fired::kReturnEarly:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Strict "name(number)" or bare "name" matcher for the policy grammar.
+bool take_call(const std::string& text, const std::string& name,
+               std::uint64_t* value, bool* had_value) {
+  if (text == name) {
+    *had_value = false;
+    return true;
+  }
+  if (text.size() > name.size() + 2 && text.compare(0, name.size(), name) == 0 &&
+      text[name.size()] == '(' && text.back() == ')') {
+    const std::string digits =
+        text.substr(name.size() + 1, text.size() - name.size() - 2);
+    XDMODML_CHECK(!digits.empty() &&
+                      digits.find_first_not_of("0123456789") ==
+                          std::string::npos,
+                  "failpoint policy needs a non-negative integer: " + text);
+    *value = std::strtoull(digits.c_str(), nullptr, 10);
+    *had_value = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Policy Policy::parse(const std::string& text) {
+  Policy policy;
+  std::string rest = trim(text);
+  XDMODML_CHECK(!rest.empty(), "empty failpoint policy");
+
+  // [one_in(N):] prefix
+  if (rest.rfind("one_in(", 0) == 0) {
+    const auto colon = rest.find("):");
+    XDMODML_CHECK(colon != std::string::npos,
+                  "one_in(N) must be followed by ':action': " + text);
+    std::uint64_t n = 0;
+    bool had = false;
+    XDMODML_CHECK(take_call(rest.substr(0, colon + 1), "one_in", &n, &had) &&
+                      had && n >= 1,
+                  "bad one_in(N) prefix: " + text);
+    policy.one_in = n;
+    rest = trim(rest.substr(colon + 2));
+  }
+
+  // [*COUNT] suffix
+  const auto star = rest.rfind('*');
+  if (star != std::string::npos) {
+    const std::string digits = rest.substr(star + 1);
+    XDMODML_CHECK(!digits.empty() &&
+                      digits.find_first_not_of("0123456789") ==
+                          std::string::npos,
+                  "bad *COUNT suffix: " + text);
+    policy.max_triggers = std::strtoull(digits.c_str(), nullptr, 10);
+    XDMODML_CHECK(policy.max_triggers > 0, "*COUNT must be positive: " + text);
+    rest = trim(rest.substr(0, star));
+  }
+
+  std::uint64_t value = 0;
+  bool had_value = false;
+  if (take_call(rest, "error", &value, &had_value)) {
+    policy.action = Action::kError;
+    policy.error_code = had_value ? static_cast<int>(value) : 1;
+  } else if (take_call(rest, "return", &value, &had_value)) {
+    XDMODML_CHECK(!had_value, "return takes no argument: " + text);
+    policy.action = Action::kReturnEarly;
+  } else if (take_call(rest, "delay", &value, &had_value)) {
+    XDMODML_CHECK(had_value, "delay needs delay(MS): " + text);
+    policy.action = Action::kDelay;
+    policy.delay_ms = value;
+  } else if (take_call(rest, "noop", &value, &had_value)) {
+    XDMODML_CHECK(!had_value, "noop takes no argument: " + text);
+    policy.action = Action::kNoop;
+  } else {
+    throw InvalidArgument("unknown failpoint action: " + text);
+  }
+  return policy;
+}
+
+void arm(const std::string& site, Policy policy, std::uint64_t seed) {
+  auto& reg = Registry::instance();
+  ensure_init(reg);
+  std::lock_guard lock(reg.mutex);
+  arm_locked(reg, site, policy, seed);
+}
+
+std::size_t arm_from_spec(const std::string& spec, std::uint64_t seed) {
+  auto& reg = Registry::instance();
+  ensure_init(reg);
+  std::lock_guard lock(reg.mutex);
+  return arm_from_spec_impl(reg, spec, seed);
+}
+
+std::size_t arm_from_env() {
+  auto& reg = Registry::instance();
+  ensure_init(reg);
+  std::lock_guard lock(reg.mutex);
+  const std::size_t armed = arm_from_env_impl(reg);
+  reg.publish_armed_count();
+  return armed;
+}
+
+void disarm(const std::string& site) {
+  auto& reg = Registry::instance();
+  ensure_init(reg);
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  if (it != reg.sites.end()) {
+    std::lock_guard site_lock(it->second->mutex);
+    it->second->is_armed = false;
+  }
+  reg.publish_armed_count();
+}
+
+void disarm_all() {
+  auto& reg = Registry::instance();
+  ensure_init(reg);
+  std::lock_guard lock(reg.mutex);
+  for (auto& [name, site] : reg.sites) {
+    std::lock_guard site_lock(site->mutex);
+    site->is_armed = false;
+  }
+  reg.publish_armed_count();
+}
+
+void reset() {
+  auto& reg = Registry::instance();
+  ensure_init(reg);
+  std::lock_guard lock(reg.mutex);
+  reg.sites.clear();
+  reg.publish_armed_count();
+}
+
+SiteStats site_stats(const std::string& site) {
+  auto& reg = Registry::instance();
+  ensure_init(reg);
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return {};
+  SiteStats stats;
+  stats.evaluations = it->second->evaluations.load(std::memory_order_relaxed);
+  stats.triggers = it->second->triggers.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::vector<std::string> armed_sites() {
+  auto& reg = Registry::instance();
+  ensure_init(reg);
+  std::lock_guard lock(reg.mutex);
+  std::vector<std::string> names;
+  for (const auto& [name, site] : reg.sites) {
+    std::lock_guard site_lock(site->mutex);
+    if (site->is_armed) names.push_back(name);
+  }
+  return names;
+}
+
+namespace detail {
+
+void evaluate(const char* site) { evaluate_impl(site); }
+
+bool should_return(const char* site) { return evaluate_impl(site); }
+
+}  // namespace detail
+
+}  // namespace xdmodml::fp

@@ -1,0 +1,182 @@
+// Deterministic fault injection: named failure sites (failpoints) that
+// production code plants on its error-handling paths and tests arm at
+// runtime.
+//
+// The paper's pipeline (TACC_Stats → SUPReMM summaries → warehouse →
+// classifiers) is a multi-stage ingest path, and real job-log pipelines
+// are dominated by dirty/partial data and infrastructure hiccups:
+// truncated CSVs, allocation pressure in the Gram cache, task failures
+// in the pool, transient warehouse write errors.  The happy path gets
+// tested by everything else in the suite; this subsystem exists so the
+// *unhappy* paths — evict-and-retry, compute-without-caching, batch
+// retry with backoff, dead-lettering, structured error outcomes — can be
+// driven deterministically instead of waiting for production to find
+// them.  See DESIGN.md §11 and the chaos suite in test_chaos_service.
+//
+// Cost contract: with no failpoint armed (the production steady state)
+// every XDMODML_FAILPOINT macro is ONE relaxed atomic load and a
+// predicted-not-taken branch — no string, no lock, no map lookup.  The
+// registry is consulted only while at least one site is armed, which
+// only happens in tests and chaos drills; an armed process is explicitly
+// trading speed for failure coverage.
+//
+// Determinism contract: `one_in(n)` draws from a per-site xoshiro stream
+// seeded with (global seed ⊕ site-name hash), so for a fixed seed the
+// k-th evaluation of a given site always makes the same fire/skip
+// decision.  Per-site sequences are deterministic even under
+// concurrency (the decision is taken under the site lock, keyed by the
+// site's own evaluation counter); the *interleaving across sites* still
+// follows the thread schedule, which is why the chaos suite asserts
+// invariants and golden-run equivalence, never exact event orders.
+//
+// Arming:
+//   * env — XDMODML_FAILPOINTS="site=policy[;site=policy...]" read once
+//     at first use, seed from XDMODML_FAILPOINT_SEED (default 0);
+//   * API — fp::arm("gram_cache.alloc", fp::Policy::parse("error(12)*2")).
+//
+// Policy grammar (see Policy::parse):
+//   policy  := [one_in(N):]action[*COUNT]
+//   action  := error(CODE) | return | delay(MS) | noop
+// Examples:  "error(5)"          throw FailpointError on every hit
+//            "return*3"          take the site's early-return arm 3 times
+//            "one_in(4):delay(10)"  10 ms stall on ~1/4 of evaluations
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace xdmodml::fp {
+
+/// Thrown by a triggered `error(code)` policy.  Derives from
+/// xdmodml::Error so hardened call sites that already convert library
+/// errors into structured outcomes handle injected faults for free.
+class FailpointError : public Error {
+ public:
+  FailpointError(const std::string& site, int code)
+      : Error("failpoint '" + site + "' injected error " +
+              std::to_string(code)),
+        site_(site),
+        code_(code) {}
+
+  const std::string& site() const { return site_; }
+  int code() const { return code_; }
+
+ private:
+  std::string site_;
+  int code_;
+};
+
+/// What an armed site does when it fires.
+struct Policy {
+  enum class Action {
+    kNoop,         ///< count the trigger, do nothing (probe mode)
+    kError,        ///< throw FailpointError(site, error_code)
+    kReturnEarly,  ///< make XDMODML_FAILPOINT_RETURN take its return arm
+    kDelay,        ///< sleep delay_ms, then continue
+  };
+
+  Action action = Action::kNoop;
+  int error_code = 0;          ///< payload for kError
+  std::uint64_t delay_ms = 0;  ///< stall for kDelay
+  /// Fire on ~1/n of evaluations (seeded, per-site deterministic).
+  /// 0 or 1 = fire on every evaluation.
+  std::uint64_t one_in = 0;
+  /// Stop firing after this many triggers (site stays registered and
+  /// keeps counting evaluations).  0 = unlimited.
+  std::uint64_t max_triggers = 0;
+
+  /// Parses "[one_in(N):]action[*COUNT]"; throws InvalidArgument on any
+  /// malformed spec (unknown action, bad number, trailing garbage).
+  static Policy parse(const std::string& text);
+};
+
+/// True while at least one site is armed — the macros' fast gate.  The
+/// not-armed read is a single relaxed atomic load.
+bool armed();
+
+/// Arms (or re-arms) one site.  `seed` feeds the site's one_in stream;
+/// re-arming resets the site's trigger budget and RNG but keeps its
+/// lifetime evaluation/trigger counters.
+void arm(const std::string& site, Policy policy, std::uint64_t seed = 0);
+
+/// Arms every "site=policy" entry of a ';'-separated spec (the
+/// XDMODML_FAILPOINTS syntax).  Returns the number of sites armed.
+std::size_t arm_from_spec(const std::string& spec, std::uint64_t seed = 0);
+
+/// Re-reads XDMODML_FAILPOINTS / XDMODML_FAILPOINT_SEED and arms
+/// accordingly (also runs implicitly once at first macro evaluation).
+/// Returns the number of sites armed.
+std::size_t arm_from_env();
+
+/// Disarms one site / every site.  Counters survive until reset().
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Drops every site *and* its counters (test isolation).
+void reset();
+
+/// Lifetime counters of one site (zeros when the site was never armed).
+struct SiteStats {
+  std::uint64_t evaluations = 0;  ///< macro hits while the site was armed
+  std::uint64_t triggers = 0;     ///< evaluations on which the policy fired
+};
+SiteStats site_stats(const std::string& site);
+
+/// Names of currently armed sites (diagnostics).
+std::vector<std::string> armed_sites();
+
+namespace detail {
+
+/// kUninitialized until the env spec has been consulted; afterwards the
+/// number of armed sites.  The macros treat "uninitialized" as armed so
+/// the first evaluation funnels into the slow path and performs the
+/// one-time env read.
+inline constexpr int kUninitialized = -1;
+extern std::atomic<int> g_armed_count;
+
+/// Slow paths, called only while armed() is true.  `evaluate` applies
+/// the site policy (may throw / delay); `should_return` additionally
+/// reports whether a return-early policy fired.
+void evaluate(const char* site);
+bool should_return(const char* site);
+
+}  // namespace detail
+
+inline bool armed() {
+  return detail::g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// Evaluates `site` like XDMODML_FAILPOINT and reports whether a
+/// return_early policy fired — for call sites whose graceful arm is not
+/// a plain `return` (break out of a loop, route to a fallback path).
+/// Same fast gate: one relaxed load when nothing is armed.
+inline bool triggered(const char* site) {
+  return armed() && detail::should_return(site);
+}
+
+}  // namespace xdmodml::fp
+
+/// Plants a failure site.  Disabled (nothing armed): one relaxed atomic
+/// load.  Armed: consults the registry; an error policy throws, a delay
+/// policy stalls, return-early is a no-op at this macro (use
+/// XDMODML_FAILPOINT_RETURN for sites with a graceful-degradation arm).
+#define XDMODML_FAILPOINT(site)                                         \
+  do {                                                                  \
+    if (::xdmodml::fp::armed()) ::xdmodml::fp::detail::evaluate(site);  \
+  } while (false)
+
+/// Plants a failure site with an early-return arm: when a return_early
+/// policy fires, the enclosing function returns `...` (which may be
+/// empty for void functions).  Error/delay policies behave as in
+/// XDMODML_FAILPOINT.
+#define XDMODML_FAILPOINT_RETURN(site, ...)                             \
+  do {                                                                  \
+    if (::xdmodml::fp::armed() &&                                       \
+        ::xdmodml::fp::detail::should_return(site)) {                   \
+      return __VA_ARGS__;                                               \
+    }                                                                   \
+  } while (false)

@@ -60,6 +60,15 @@ void ThreadPool::note_enqueued(std::size_t queue_depth) {
   hwm.update_max(static_cast<std::int64_t>(queue_depth));
 }
 
+void ThreadPool::note_queue_full() {
+  static auto& rejected = obs::MetricsRegistry::instance().counter(
+      "fail.thread_pool.queue_full");
+  static auto& inline_runs = obs::MetricsRegistry::instance().counter(
+      "retry.thread_pool.inline_run");
+  rejected.inc();
+  inline_runs.inc();
+}
+
 void ThreadPool::join_all(std::vector<std::future<void>>& futures) {
   // Every future must be drained before anything propagates: a future
   // abandoned mid-loop leaves its chunk running (std::future from a
@@ -100,6 +109,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     // Nested dispatch: queued chunks could only run on the *other*
     // workers, so a busy pool (or a 1-thread pool) would deadlock on
     // the futures below.  Run the body inline instead.
+    XDMODML_FAILPOINT("thread_pool.chunk");
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -112,6 +122,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk_size);
     futures.push_back(submit([lo, hi, &body] {
+      // Task-throw injection: the fault is captured by the
+      // packaged_task and surfaces through join_all after every chunk
+      // has finished — exactly the worker-crash path the chaos suite
+      // drives.
+      XDMODML_FAILPOINT("thread_pool.chunk");
       for (std::size_t i = lo; i < hi; ++i) body(i);
     }));
   }
@@ -128,6 +143,7 @@ void ThreadPool::parallel_for_ranges(
   // Inline when there is nothing to split or when called from a pool
   // worker (same nested-dispatch deadlock hazard as parallel_for).
   if (n <= grain || on_pool_thread()) {
+    XDMODML_FAILPOINT("thread_pool.chunk");
     body(begin, end);
     return;
   }
@@ -137,7 +153,10 @@ void ThreadPool::parallel_for_ranges(
   futures.reserve(max_chunks);
   for (std::size_t lo = begin; lo < end; lo += chunk_size) {
     const std::size_t hi = std::min(end, lo + chunk_size);
-    futures.push_back(submit([lo, hi, &body] { body(lo, hi); }));
+    futures.push_back(submit([lo, hi, &body] {
+      XDMODML_FAILPOINT("thread_pool.chunk");
+      body(lo, hi);
+    }));
   }
   join_all(futures);  // all chunks finish, then the first exception
 }

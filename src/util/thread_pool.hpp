@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/failpoint.hpp"
+
 namespace xdmodml {
 
 /// Fixed-size worker pool.  Tasks are std::function<void()>; submit()
@@ -42,11 +44,20 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueues a task; the returned future reports its result/exception.
+  /// Failpoint site `thread_pool.submit.queue_full` (return_early)
+  /// simulates a saturated queue: the task then degrades to running
+  /// inline on the caller — slower, but the future still delivers the
+  /// result and nothing is dropped.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
+    if (fp::triggered("thread_pool.submit.queue_full")) {
+      note_queue_full();
+      (*task)();  // packaged_task captures any exception into the future
+      return fut;
+    }
     // 0 when metrics are off — the task then runs unwrapped and no
     // clock is ever read (see util/metrics.hpp's cost rules).
     const std::uint64_t enqueue_ns = maybe_now_ns();
@@ -104,6 +115,9 @@ class ThreadPool {
   static void record_task_done(std::uint64_t enqueue_ns);
   /// Task counter + queue-depth high-water mark; call under `mutex_`.
   void note_enqueued(std::size_t queue_depth);
+  /// Counts a simulated queue-full rejection recovered by inline
+  /// execution (fail.*/retry.* metrics).
+  static void note_queue_full();
 
   /// Waits on every future, then rethrows the first captured exception.
   static void join_all(std::vector<std::future<void>>& futures);

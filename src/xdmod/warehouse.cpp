@@ -1,11 +1,15 @@
 #include "xdmod/warehouse.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <thread>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 
 namespace xdmodml::xdmod {
@@ -78,12 +82,128 @@ bool Filter::matches(const supremm::JobSummary& job) const {
   return true;
 }
 
+namespace {
+
+/// Ingest-path metrics, registered once per process.  Counters update
+/// unconditionally (coarse sites, see util/metrics.hpp cost rules).
+struct WarehouseMetrics {
+  obs::Counter& ingested =
+      obs::MetricsRegistry::instance().counter("warehouse.ingested");
+  obs::Counter& dead_letters =
+      obs::MetricsRegistry::instance().counter("warehouse.dead_letters");
+  obs::Counter& commit_failures =
+      obs::MetricsRegistry::instance().counter("fail.warehouse.commit");
+  obs::Counter& commit_retries =
+      obs::MetricsRegistry::instance().counter("retry.warehouse.commit");
+
+  static WarehouseMetrics& get() {
+    static WarehouseMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+std::optional<std::string> Warehouse::validate(
+    const supremm::JobSummary& job) {
+  // The chaos suite uses this site to mark arbitrary healthy rows as
+  // dirty, exercising the reject paths without crafting payloads.
+  if (fp::triggered("warehouse.validate.reject")) {
+    return "failpoint warehouse.validate.reject";
+  }
+  if (job.nodes == 0) return "nodes must be >= 1";
+  if (job.cores_per_node == 0) return "cores_per_node must be >= 1";
+  if (!std::isfinite(job.wall_seconds) || job.wall_seconds < 0.0) {
+    return "wall_seconds must be finite and non-negative";
+  }
+  if (!std::isfinite(job.start_epoch_seconds)) {
+    return "start_epoch_seconds must be finite";
+  }
+  return std::nullopt;
+}
+
 void Warehouse::ingest(supremm::JobSummary job) {
+  if (auto reason = validate(job)) {
+    throw InvalidArgument("warehouse rejected job " +
+                          std::to_string(job.job_id) + ": " + *reason);
+  }
   jobs_.push_back(std::move(job));
+  WarehouseMetrics::get().ingested.inc();
 }
 
 void Warehouse::ingest(std::span<const supremm::JobSummary> jobs) {
-  jobs_.insert(jobs_.end(), jobs.begin(), jobs.end());
+  IngestOptions options;
+  options.on_invalid = IngestOptions::OnInvalid::kAllOrNothing;
+  ingest_batch(jobs, options);
+}
+
+void Warehouse::commit_rows(std::vector<supremm::JobSummary> rows,
+                            const IngestOptions& options,
+                            BatchReport* report) {
+  if (rows.empty()) return;
+  auto& metrics = WarehouseMetrics::get();
+  std::uint64_t backoff = options.backoff_ms;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      // Transient-failure site (storage pressure, flaky backend).  It
+      // sits *before* the insert, so a failed attempt leaves nothing
+      // half-applied and the retry is trivially idempotent.
+      XDMODML_FAILPOINT("warehouse.ingest.commit");
+      jobs_.insert(jobs_.end(), std::make_move_iterator(rows.begin()),
+                   std::make_move_iterator(rows.end()));
+      report->accepted += rows.size();
+      metrics.ingested.inc(rows.size());
+      return;
+    } catch (const Error&) {
+      metrics.commit_failures.inc();
+      if (attempt >= options.max_retries) throw;
+      metrics.commit_retries.inc();
+      ++report->retries;
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min(backoff, options.max_backoff_ms)));
+        backoff *= 2;
+      }
+    }
+  }
+}
+
+BatchReport Warehouse::ingest_batch(
+    std::span<const supremm::JobSummary> jobs, const IngestOptions& options) {
+  BatchReport report;
+  // Validate every row before committing any: the old span overload
+  // inserted rows as it walked the batch, so a mid-batch reject left the
+  // prefix applied — the caller's error handler then saw (and retried!)
+  // a half-ingested batch.
+  std::vector<supremm::JobSummary> valid;
+  valid.reserve(jobs.size());
+  std::vector<DeadLetter> rejected;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (auto reason = validate(jobs[i])) {
+      if (options.on_invalid == IngestOptions::OnInvalid::kAllOrNothing) {
+        throw InvalidArgument(
+            "warehouse batch rejected (all-or-nothing): row " +
+            std::to_string(i) + ", job " + std::to_string(jobs[i].job_id) +
+            ": " + *reason);
+      }
+      rejected.push_back({jobs[i], std::move(*reason)});
+    } else {
+      valid.push_back(jobs[i]);
+    }
+  }
+  commit_rows(std::move(valid), options, &report);
+  // Dead letters are recorded only after the commit succeeded, so a
+  // batch that ultimately throws leaves no trace at all.
+  for (auto& dl : rejected) {
+    dead_letter(std::move(dl.job), std::move(dl.reason));
+    ++report.dead_lettered;
+  }
+  return report;
+}
+
+void Warehouse::dead_letter(supremm::JobSummary job, std::string reason) {
+  dead_letters_.push_back({std::move(job), std::move(reason)});
+  WarehouseMetrics::get().dead_letters.inc();
 }
 
 std::vector<const supremm::JobSummary*> Warehouse::query(

@@ -67,11 +67,71 @@ struct GroupRow {
   std::size_t job_count = 0;
 };
 
+/// A row the warehouse refused, kept for operator inspection instead of
+/// being dropped on the floor (or crashing the ingest).
+struct DeadLetter {
+  supremm::JobSummary job;
+  std::string reason;
+};
+
+/// Batch-ingest knobs (see Warehouse::ingest_batch).
+struct IngestOptions {
+  /// What to do when a row fails validation mid-batch.
+  enum class OnInvalid {
+    kAllOrNothing,  ///< reject the whole batch, warehouse unchanged
+    kDeadLetter,    ///< commit the valid rows, dead-letter the rest
+  };
+  OnInvalid on_invalid = OnInvalid::kDeadLetter;
+  /// Transient commit failures (I/O pressure, injected faults) are
+  /// retried up to this many times with capped exponential backoff.
+  std::size_t max_retries = 3;
+  std::uint64_t backoff_ms = 1;      ///< base backoff, doubled per retry
+  std::uint64_t max_backoff_ms = 50; ///< backoff cap
+};
+
+/// Outcome of one batch ingest.
+struct BatchReport {
+  std::size_t accepted = 0;       ///< rows committed
+  std::size_t dead_lettered = 0;  ///< rows rejected into dead_letters()
+  std::size_t retries = 0;        ///< transient-failure retries performed
+};
+
 /// The warehouse itself.
 class Warehouse {
  public:
+  /// Why `job` would be rejected, or std::nullopt when it is valid
+  /// (non-zero nodes/cores, finite non-negative wall time, finite start).
+  static std::optional<std::string> validate(const supremm::JobSummary& job);
+
+  /// Validating single-row ingest; throws InvalidArgument (warehouse
+  /// unchanged) when the row fails `validate`.
   void ingest(supremm::JobSummary job);
+
+  /// All-or-nothing span ingest: every row is validated *before* any is
+  /// committed, so a mid-batch reject leaves the warehouse exactly as it
+  /// was (it used to insert the prefix, then the caller's exception
+  /// handler saw a half-applied batch).  Throws InvalidArgument naming
+  /// the first offending row.
   void ingest(std::span<const supremm::JobSummary> jobs);
+
+  /// Policy-driven batch ingest.  kDeadLetter (default) commits every
+  /// valid row and records the rest in dead_letters(); kAllOrNothing
+  /// throws on the first invalid row with the warehouse unchanged.  The
+  /// commit step retries transient failures (failpoint site
+  /// `warehouse.ingest.commit`) with capped exponential backoff; the
+  /// commit itself is atomic, so a batch is never half-applied no matter
+  /// where the failure lands.
+  BatchReport ingest_batch(std::span<const supremm::JobSummary> jobs,
+                           const IngestOptions& options = {});
+
+  /// Records a row the serving layer could not ingest (e.g. it failed
+  /// validation during a streaming commit).
+  void dead_letter(supremm::JobSummary job, std::string reason);
+
+  /// Rows rejected so far, oldest first.
+  const std::vector<DeadLetter>& dead_letters() const {
+    return dead_letters_;
+  }
 
   std::size_t size() const { return jobs_.size(); }
 
@@ -89,7 +149,13 @@ class Warehouse {
                      const Filter& filter = {}) const;
 
  private:
+  /// Atomic commit of pre-validated rows with retry/backoff (the one
+  /// place `warehouse.ingest.commit` faults are absorbed).
+  void commit_rows(std::vector<supremm::JobSummary> rows,
+                   const IngestOptions& options, BatchReport* report);
+
   std::vector<supremm::JobSummary> jobs_;
+  std::vector<DeadLetter> dead_letters_;
 };
 
 }  // namespace xdmodml::xdmod

@@ -1,0 +1,385 @@
+// Chaos suite: seeded randomized failpoint schedules driven against a
+// live ClassificationService under concurrent load.
+//
+// The assertions are deliberately *invariants*, not event orders (see
+// the determinism contract in util/failpoint.hpp):
+//   - no crash, no deadlock (a watchdog aborts the process with a
+//     message instead of letting CTest hang on a lost lock);
+//   - no exception escapes the serving path — every injected fault is
+//     either recovered invisibly or surfaced as a structured kFailed
+//     outcome with the job dead-lettered;
+//   - tallies, warehouse contents, dead letters and the fail.*/retry.*
+//     metrics all agree exactly after every iteration;
+//   - a schedule made only of *recoverable* faults produces results
+//     bit-identical to the fault-free golden run.
+//
+// Iteration count defaults low enough for tier-1; the sanitizer legs
+// raise it via XDMODML_CHAOS_ITERS (the acceptance bar is 100 clean
+// iterations under ASan and TSan).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/classification_service.hpp"
+#include "supremm/summary_io.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "workload/dataset_helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace xdmodml::core {
+namespace {
+
+/// Aborts the process (with output CTest will show) if `done` is not
+/// signalled within the limit — turns a chaos-induced deadlock into a
+/// diagnosable failure instead of a hung test runner.
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::seconds limit, const char* label)
+      : thread_([this, limit, label] {
+          std::unique_lock lock(mutex_);
+          if (!cv_.wait_for(lock, limit, [this] { return done_; })) {
+            std::fprintf(stderr,
+                         "chaos watchdog: '%s' exceeded %lld s — "
+                         "deadlock suspected, aborting\n",
+                         label, static_cast<long long>(limit.count()));
+            std::abort();
+          }
+        }) {}
+
+  ~Watchdog() {
+    {
+      std::lock_guard lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+int chaos_iterations() {
+  if (const char* s = std::getenv("XDMODML_CHAOS_ITERS")) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  return 20;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::WorkloadGenerator gen(
+        workload::WorkloadGenerator::standard({}, 321));
+    const auto train_jobs = gen.generate_balanced(40);
+    const auto schema = supremm::AttributeSchema::full();
+    const auto train = workload::build_summary_dataset(
+        train_jobs, schema, supremm::label_by_application());
+    JobClassifierConfig cfg;
+    cfg.algorithm = Algorithm::kRandomForest;
+    cfg.forest.num_trees = 60;
+    auto clf = std::make_shared<JobClassifier>(cfg);
+    clf->train(train);
+    clf_ = new std::shared_ptr<const JobClassifier>(std::move(clf));
+
+    // Fixed job streams, generated once: the generator is stateful, and
+    // the golden-run comparison needs byte-identical inputs per run.
+    stream_ = new std::vector<supremm::JobSummary>();
+    for (const auto& job : gen.generate_native(15)) {
+      stream_->push_back(job.summary);
+    }
+    for (const auto& job : gen.generate_na(25, 1.0)) {
+      stream_->push_back(job.summary);
+    }
+    for (const auto& job : gen.generate_uncategorized(10)) {
+      stream_->push_back(job.summary);
+    }
+    single_pool_ = new std::vector<supremm::JobSummary>();
+    for (const auto& job : gen.generate_na(30, 1.0)) {
+      single_pool_->push_back(job.summary);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete clf_;
+    delete stream_;
+    delete single_pool_;
+    clf_ = nullptr;
+    stream_ = nullptr;
+    single_pool_ = nullptr;
+  }
+
+  void SetUp() override { fp::reset(); }
+  void TearDown() override { fp::reset(); }
+
+  static std::shared_ptr<const JobClassifier>* clf_;
+  static std::vector<supremm::JobSummary>* stream_;
+  static std::vector<supremm::JobSummary>* single_pool_;
+};
+std::shared_ptr<const JobClassifier>* ChaosTest::clf_ = nullptr;
+std::vector<supremm::JobSummary>* ChaosTest::stream_ = nullptr;
+std::vector<supremm::JobSummary>* ChaosTest::single_pool_ = nullptr;
+
+/// A randomized failpoint schedule that is *safe by construction*: every
+/// site gets only policies its call site recovers from, so any escape is
+/// a hardening bug, not a test artifact.
+std::string random_schedule(std::mt19937_64& rng) {
+  std::ostringstream spec;
+  const auto chance = [&rng](double p) {
+    return std::uniform_real_distribution<>(0.0, 1.0)(rng) < p;
+  };
+  const auto one_in = [&rng] {
+    return std::uniform_int_distribution<int>(2, 8)(rng);
+  };
+  // Throw-tolerant sites: classify converts the error into kFailed, the
+  // batch path falls back to a serial pass.
+  if (chance(0.7)) {
+    spec << "service.classify=one_in(" << one_in() << "):"
+         << (chance(0.5) ? "error(11)" : "delay(1)") << ";";
+  }
+  if (chance(0.5)) {
+    spec << "thread_pool.chunk=one_in(" << one_in() << "):error(12)*"
+         << std::uniform_int_distribution<int>(1, 3)(rng) << ";";
+  }
+  // Return-arm sites: queue-full degrades to inline execution, a
+  // validation reject dead-letters the job.
+  if (chance(0.6)) {
+    spec << "thread_pool.submit.queue_full=one_in(" << one_in()
+         << "):return;";
+  }
+  if (chance(0.6)) {
+    spec << "warehouse.validate.reject=one_in(" << one_in() << "):return*"
+         << std::uniform_int_distribution<int>(1, 6)(rng) << ";";
+  }
+  return spec.str();
+}
+
+TEST_F(ChaosTest, RecoveredFaultsMatchGoldenRunExactly) {
+  Watchdog watchdog(std::chrono::seconds(240), "golden-run comparison");
+
+  // Golden run: no faults armed.
+  ClassificationService golden(*clf_, 0.5);
+  const auto golden_results = golden.ingest_batch(*stream_);
+
+  // Faulted run: only faults whose recovery is exact — queue-full
+  // degrades to inline execution, a chunk error reruns the batch
+  // serially, a classify delay just stalls.  None of them may change a
+  // single bit of the output.
+  fp::arm_from_spec(
+      "thread_pool.submit.queue_full=one_in(3):return;"
+      "thread_pool.chunk=error(3)*1;"
+      "service.classify=one_in(9):delay(1)",
+      /*seed=*/7);
+  ClassificationService faulted(*clf_, 0.5);
+  const auto faulted_results = faulted.ingest_batch(*stream_);
+  fp::disarm_all();
+
+  // The faults actually happened (otherwise this test proves nothing).
+  EXPECT_GE(fp::site_stats("thread_pool.chunk").triggers, 1u);
+
+  ASSERT_EQ(faulted_results.size(), golden_results.size());
+  for (std::size_t i = 0; i < golden_results.size(); ++i) {
+    EXPECT_EQ(faulted_results[i].outcome, golden_results[i].outcome);
+    EXPECT_EQ(faulted_results[i].prediction.class_name,
+              golden_results[i].prediction.class_name);
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(faulted_results[i].prediction.probability,
+              golden_results[i].prediction.probability);
+    EXPECT_TRUE(faulted_results[i].error.empty());
+  }
+  EXPECT_EQ(faulted.stats().identified, golden.stats().identified);
+  EXPECT_EQ(faulted.stats().attributed, golden.stats().attributed);
+  EXPECT_EQ(faulted.stats().unresolved, golden.stats().unresolved);
+  EXPECT_EQ(faulted.stats().failed, 0u);
+  EXPECT_EQ(faulted.warehouse()->size(), golden.warehouse()->size());
+  EXPECT_EQ(faulted.attributed_cpu_hours(), golden.attributed_cpu_hours());
+  EXPECT_TRUE(faulted.warehouse()->dead_letters().empty());
+}
+
+TEST_F(ChaosTest, SeededSchedulesKeepEveryInvariant) {
+  const int iters = chaos_iterations();
+  auto& registry = obs::MetricsRegistry::instance();
+  for (int iter = 0; iter < iters; ++iter) {
+    SCOPED_TRACE("chaos iteration " + std::to_string(iter));
+    fp::reset();
+    std::mt19937_64 schedule_rng(1234u + static_cast<unsigned>(iter));
+    const std::string spec = random_schedule(schedule_rng);
+    fp::arm_from_spec(spec, /*seed=*/static_cast<std::uint64_t>(iter));
+
+    const auto before = registry.snapshot();
+    Watchdog watchdog(std::chrono::seconds(120), "chaos iteration");
+    ClassificationService service(*clf_, 0.5);
+
+    // Concurrent load: one batch ingest plus three threads of single
+    // ingests and a report() reader, all against the same service.
+    std::vector<ClassificationService::IngestResult> batch_results;
+    std::atomic<std::size_t> single_failed{0};
+    std::thread batch_thread([&] {
+      batch_results = service.ingest_batch(*stream_);
+    });
+    std::vector<std::thread> singles;
+    for (int t = 0; t < 3; ++t) {
+      singles.emplace_back([&, t] {
+        for (std::size_t i = static_cast<std::size_t>(t);
+             i < single_pool_->size(); i += 3) {
+          const auto result = service.ingest((*single_pool_)[i]);
+          if (result.outcome == ClassificationService::Outcome::kFailed) {
+            single_failed.fetch_add(1, std::memory_order_relaxed);
+            EXPECT_FALSE(result.error.empty());
+          } else {
+            EXPECT_TRUE(result.error.empty());
+          }
+        }
+      });
+    }
+    std::thread reader([&] {
+      for (int r = 0; r < 5; ++r) {
+        (void)service.report();
+        (void)service.stats();
+      }
+    });
+    batch_thread.join();
+    for (auto& th : singles) th.join();
+    reader.join();
+    fp::disarm_all();
+
+    // Conservation: every submitted job is accounted for exactly once —
+    // stored in the warehouse or dead-lettered, never both, never lost.
+    const auto total_submitted = stream_->size() + single_pool_->size();
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.total(), total_submitted);
+    std::size_t batch_failed = 0;
+    for (const auto& r : batch_results) {
+      if (r.outcome == ClassificationService::Outcome::kFailed) {
+        ++batch_failed;
+        EXPECT_FALSE(r.error.empty());
+      }
+    }
+    EXPECT_EQ(stats.failed, batch_failed + single_failed.load());
+    {
+      const auto view = service.warehouse();
+      EXPECT_EQ(view->size() + view->dead_letters().size(),
+                total_submitted);
+      EXPECT_EQ(view->dead_letters().size(), stats.failed);
+    }
+
+    // Metrics-vs-outcome consistency: the global counters moved by
+    // exactly what this iteration's service reports.
+    const auto after = registry.snapshot();
+    const auto delta = [&](const char* name) {
+      return after.counter(name) - before.counter(name);
+    };
+    EXPECT_EQ(delta("service.identified"), stats.identified);
+    EXPECT_EQ(delta("service.attributed"), stats.attributed);
+    EXPECT_EQ(delta("service.unresolved"), stats.unresolved);
+    EXPECT_EQ(delta("service.failed"), stats.failed);
+    EXPECT_EQ(delta("warehouse.dead_letters"), stats.failed);
+    // Every recovery that claims to have happened is backed by a
+    // triggered failpoint, and vice versa nothing fired silently.
+    const auto injected = delta("failpoint.triggers");
+    const auto recovered_or_surfaced =
+        delta("fail.service.classify") + delta("fail.service.timeout") +
+        delta("fail.service.batch") + delta("fail.thread_pool.queue_full") +
+        delta("fail.warehouse.commit");
+    if (injected == 0) {
+      EXPECT_EQ(recovered_or_surfaced, 0u);
+      EXPECT_EQ(stats.failed, 0u);
+    }
+  }
+}
+
+TEST_F(ChaosTest, IngestParsersSurfaceStructuredErrorsUnderFaults) {
+  Watchdog watchdog(std::chrono::seconds(120), "parser chaos");
+  // Round-trip the fixed stream through the CSV interchange format with
+  // read-path faults armed: every iteration must either succeed, return
+  // a truncated-but-valid prefix, or throw a *structured* error — never
+  // crash, never leak a bare failpoint exception.
+  std::ostringstream csv;
+  supremm::write_jobs_csv(csv, *stream_);
+  const std::string text = csv.str();
+
+  const int iters = chaos_iterations();
+  int failures = 0;
+  int truncations = 0;
+  for (int iter = 0; iter < iters; ++iter) {
+    SCOPED_TRACE("parser iteration " + std::to_string(iter));
+    fp::reset();
+    fp::arm_from_spec(
+        "csv.parse.read=one_in(40):error(2);"
+        "csv.parse.truncate=one_in(40):return;"
+        "summary_io.read.row=one_in(40):error(3)",
+        /*seed=*/static_cast<std::uint64_t>(iter));
+    std::istringstream in(text);
+    try {
+      const auto jobs = supremm::read_jobs_csv(in);
+      EXPECT_LE(jobs.size(), stream_->size());
+      if (jobs.size() < stream_->size()) ++truncations;
+    } catch (const Error& e) {
+      // Structured: the message names the failing position ("row N" /
+      // "line N") — or, when a short read lands inside the header, the
+      // header-format mismatch — and the raw FailpointError never
+      // escapes undecorated.
+      ++failures;
+      EXPECT_EQ(dynamic_cast<const fp::FailpointError*>(&e), nullptr);
+      const std::string what = e.what();
+      EXPECT_TRUE(what.find("row") != std::string::npos ||
+                  what.find("line") != std::string::npos ||
+                  what.find("header") != std::string::npos)
+          << what;
+    }
+  }
+  // With one_in(40) over ~50 rows per pass, both arms fire across the
+  // run (probabilistically certain: P(never) < 1e-10 at 20 iters).
+  EXPECT_GT(failures + truncations, 0);
+  fp::reset();
+}
+
+TEST_F(ChaosTest, ClassifyDeadlineSurfacesAsStructuredTimeout) {
+  Watchdog watchdog(std::chrono::seconds(120), "deadline test");
+  // Fast path: a generous deadline is never tripped by a real
+  // classification, even on slow sanitizer machines.
+  ClassificationService::Limits lax;
+  lax.classify_timeout_ms = 10'000;
+  ClassificationService relaxed(*clf_, 0.5, lax);
+  const auto ok = relaxed.ingest(stream_->front());
+  EXPECT_NE(ok.outcome, ClassificationService::Outcome::kFailed);
+
+  // A 50 ms injected stall against a 1 ms deadline overruns it
+  // deterministically: structured timeout, job dead-lettered,
+  // fail.service.timeout counted.
+  ClassificationService::Limits tight;
+  tight.classify_timeout_ms = 1;
+  ClassificationService service(*clf_, 0.5, tight);
+  auto& registry = obs::MetricsRegistry::instance();
+  const auto before = registry.snapshot();
+  fp::arm("service.classify", fp::Policy::parse("delay(50)*1"));
+  const auto result = service.ingest(stream_->front());
+  fp::disarm_all();
+  EXPECT_EQ(result.outcome, ClassificationService::Outcome::kFailed);
+  EXPECT_NE(result.error.find("deadline"), std::string::npos);
+  EXPECT_EQ(service.stats().failed, 1u);
+  EXPECT_EQ(service.warehouse()->dead_letters().size(), 1u);
+  const auto after = registry.snapshot();
+  EXPECT_EQ(after.counter("fail.service.timeout") -
+                before.counter("fail.service.timeout"),
+            1u);
+}
+
+}  // namespace
+}  // namespace xdmodml::core

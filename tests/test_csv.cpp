@@ -1,4 +1,5 @@
-// Tests for CSV escaping, writing and parsing (round-trip included).
+// Tests for CSV escaping, writing and parsing (round-trip included),
+// plus the parser's fault sites (csv.parse.read / csv.parse.truncate).
 #include "util/csv.hpp"
 
 #include <gtest/gtest.h>
@@ -6,6 +7,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace xdmodml {
 namespace {
@@ -80,6 +82,77 @@ TEST(CsvParse, RaggedRowMessageNamesRowAndWidths) {
     EXPECT_NE(message.find("3 fields"), std::string::npos) << message;
     EXPECT_NE(message.find("header has 2"), std::string::npos) << message;
   }
+}
+
+TEST(CsvParse, RaggedRowAfterQuotedNewlinesReportsPhysicalLine) {
+  // Data row 1 spans physical lines 2-3 (quoted embedded newline), so
+  // the ragged row 2 starts on physical line 4.  The old message used
+  // the logical row count as the line number, which pointed an editor
+  // two lines too high the moment any earlier field wrapped.
+  std::istringstream in("a,b\n1,\"x\ny\"\n1,2,3\n");
+  try {
+    parse_csv(in);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("row 2"), std::string::npos) << message;
+    EXPECT_NE(message.find("(line 4)"), std::string::npos) << message;
+    EXPECT_NE(message.find("3 fields"), std::string::npos) << message;
+    EXPECT_NE(message.find("header has 2"), std::string::npos) << message;
+  }
+}
+
+TEST(CsvParse, MultiLineRaggedRowReportsItsOwnStartLine) {
+  // The ragged record itself spans lines 2-3; the report must name the
+  // line where the record *begins*, not where it ends.
+  std::istringstream in("a,b\n\"p\nq\",2,3\n");
+  try {
+    parse_csv(in);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("row 1"), std::string::npos) << message;
+    EXPECT_NE(message.find("(line 2)"), std::string::npos) << message;
+  }
+}
+
+TEST(CsvParse, UnterminatedQuoteReportsStartLine) {
+  std::istringstream in("a,b\n1,2\n3,\"never closed\nmore\n");
+  try {
+    parse_csv(in);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("starting at line 3"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(CsvParse, ReadFailpointSurfacesPositionedError) {
+  fp::reset();
+  fp::arm("csv.parse.read", fp::Policy::parse("error(2)*1"));
+  std::istringstream in("a,b\n1,2\n");
+  try {
+    parse_csv(in);
+    FAIL() << "expected ComputeError";
+  } catch (const ComputeError& e) {
+    // The injected I/O error is decorated with the physical position —
+    // the bare FailpointError never escapes the parser.
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  fp::reset();
+}
+
+TEST(CsvParse, TruncateFailpointEndsTheStreamCleanly) {
+  fp::reset();
+  fp::arm("csv.parse.truncate", fp::Policy::parse("return*1"));
+  std::istringstream in("a,b\n1,2\n3,4\n");
+  // A short read at the very first line yields an empty (but valid)
+  // document rather than a crash or a phantom half-record.
+  const auto doc = parse_csv(in);
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_TRUE(doc.rows.empty());
+  fp::reset();
 }
 
 TEST(CsvParse, QuotedNewlinesSpanPhysicalLines) {

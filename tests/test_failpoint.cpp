@@ -1,0 +1,259 @@
+// Tests for the deterministic fault-injection subsystem (util/failpoint):
+// policy grammar, arming forms, action semantics, one_in determinism,
+// trigger budgets, env arming and concurrent evaluation.
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace xdmodml::fp {
+namespace {
+
+/// Every test starts and ends with a clean registry so the global armed
+/// gate never leaks between tests (or into other suites in this binary).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+int guarded_call() {
+  XDMODML_FAILPOINT_RETURN("test.guarded", -1);
+  return 42;
+}
+
+void plain_site() { XDMODML_FAILPOINT("test.plain"); }
+
+TEST_F(FailpointTest, ParseActions) {
+  const auto err = Policy::parse("error(5)");
+  EXPECT_EQ(err.action, Policy::Action::kError);
+  EXPECT_EQ(err.error_code, 5);
+  EXPECT_EQ(err.one_in, 0u);
+  EXPECT_EQ(err.max_triggers, 0u);
+
+  const auto ret = Policy::parse("return");
+  EXPECT_EQ(ret.action, Policy::Action::kReturnEarly);
+
+  const auto delay = Policy::parse("delay(10)");
+  EXPECT_EQ(delay.action, Policy::Action::kDelay);
+  EXPECT_EQ(delay.delay_ms, 10u);
+
+  const auto noop = Policy::parse("noop");
+  EXPECT_EQ(noop.action, Policy::Action::kNoop);
+}
+
+TEST_F(FailpointTest, ParseModifiers) {
+  const auto p = Policy::parse("one_in(4):error(2)*3");
+  EXPECT_EQ(p.action, Policy::Action::kError);
+  EXPECT_EQ(p.error_code, 2);
+  EXPECT_EQ(p.one_in, 4u);
+  EXPECT_EQ(p.max_triggers, 3u);
+
+  const auto q = Policy::parse("return*2");
+  EXPECT_EQ(q.action, Policy::Action::kReturnEarly);
+  EXPECT_EQ(q.max_triggers, 2u);
+
+  // Surrounding whitespace is tolerated (env specs get hand-typed).
+  const auto r = Policy::parse(" one_in(2):delay(1) ");
+  EXPECT_EQ(r.action, Policy::Action::kDelay);
+  EXPECT_EQ(r.one_in, 2u);
+}
+
+TEST_F(FailpointTest, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(Policy::parse(""), InvalidArgument);
+  EXPECT_THROW(Policy::parse("bogus"), InvalidArgument);
+  // Bare `error` is accepted shorthand for error(1).
+  EXPECT_EQ(Policy::parse("error").error_code, 1);
+  EXPECT_THROW(Policy::parse("error()"), InvalidArgument);
+  EXPECT_THROW(Policy::parse("error(x)"), InvalidArgument);
+  EXPECT_THROW(Policy::parse("error(1)x"), InvalidArgument);
+  EXPECT_THROW(Policy::parse("error(1)*"), InvalidArgument);
+  EXPECT_THROW(Policy::parse("one_in():error(1)"), InvalidArgument);
+  EXPECT_THROW(Policy::parse("one_in(2)error(1)"), InvalidArgument);
+  EXPECT_THROW(Policy::parse("delay(-3)"), InvalidArgument);
+}
+
+TEST_F(FailpointTest, UnarmedSitesAreInertAndUncounted) {
+  EXPECT_FALSE(armed());
+  for (int i = 0; i < 10; ++i) {
+    plain_site();
+    EXPECT_EQ(guarded_call(), 42);
+  }
+  // The registry was never consulted: arming afterwards shows zero
+  // lifetime evaluations for both sites.
+  arm("test.plain", Policy::parse("noop"));
+  EXPECT_EQ(site_stats("test.plain").evaluations, 0u);
+  EXPECT_EQ(site_stats("test.guarded").evaluations, 0u);
+}
+
+TEST_F(FailpointTest, ErrorPolicyThrowsWithSiteAndCode) {
+  arm("test.plain", Policy::parse("error(17)"));
+  EXPECT_TRUE(armed());
+  try {
+    plain_site();
+    FAIL() << "expected FailpointError";
+  } catch (const FailpointError& e) {
+    EXPECT_EQ(e.site(), "test.plain");
+    EXPECT_EQ(e.code(), 17);
+    EXPECT_NE(std::string(e.what()).find("test.plain"), std::string::npos);
+  }
+  const auto stats = site_stats("test.plain");
+  EXPECT_EQ(stats.evaluations, 1u);
+  EXPECT_EQ(stats.triggers, 1u);
+}
+
+TEST_F(FailpointTest, ReturnPolicyTakesTheReturnArm) {
+  arm("test.guarded", Policy::parse("return"));
+  EXPECT_EQ(guarded_call(), -1);
+  disarm("test.guarded");
+  EXPECT_EQ(guarded_call(), 42);
+}
+
+TEST_F(FailpointTest, ReturnPolicyIsANoopAtPlainSites) {
+  // XDMODML_FAILPOINT has no return arm; a return policy must not turn
+  // into a throw or a hang there.
+  arm("test.plain", Policy::parse("return"));
+  EXPECT_NO_THROW(plain_site());
+  EXPECT_EQ(site_stats("test.plain").triggers, 1u);
+}
+
+TEST_F(FailpointTest, TriggeredHelperReportsAndCounts) {
+  arm("test.helper", Policy::parse("return*1"));
+  EXPECT_TRUE(triggered("test.helper"));
+  EXPECT_FALSE(triggered("test.helper"));  // budget spent
+  EXPECT_EQ(site_stats("test.helper").triggers, 1u);
+  EXPECT_EQ(site_stats("test.helper").evaluations, 2u);
+}
+
+TEST_F(FailpointTest, DelayPolicyStalls) {
+  arm("test.plain", Policy::parse("delay(20)"));
+  const auto start = std::chrono::steady_clock::now();
+  plain_site();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 20);
+}
+
+TEST_F(FailpointTest, TriggerBudgetStopsFiring) {
+  arm("test.plain", Policy::parse("error(1)*2"));
+  EXPECT_THROW(plain_site(), FailpointError);
+  EXPECT_THROW(plain_site(), FailpointError);
+  for (int i = 0; i < 5; ++i) EXPECT_NO_THROW(plain_site());
+  const auto stats = site_stats("test.plain");
+  EXPECT_EQ(stats.triggers, 2u);
+  EXPECT_EQ(stats.evaluations, 7u);
+}
+
+TEST_F(FailpointTest, OneInIsDeterministicPerSeed) {
+  const auto pattern_for = [](std::uint64_t seed) {
+    reset();
+    arm("test.guarded", Policy::parse("one_in(3):return"), seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(guarded_call() == -1);
+    return fired;
+  };
+  const auto a = pattern_for(42);
+  const auto b = pattern_for(42);
+  EXPECT_EQ(a, b);  // same seed → identical fire/skip sequence
+
+  // The rate is honest: ~1/3 of 200 evaluations, with slack.
+  const auto fires = static_cast<std::size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 30u);
+  EXPECT_LT(fires, 110u);
+
+  // A different seed almost surely produces a different sequence.
+  EXPECT_NE(pattern_for(43), a);
+}
+
+TEST_F(FailpointTest, ArmFromSpecArmsEverySite) {
+  const auto armed_count =
+      arm_from_spec("test.a=error(1);test.b=return*1; test.c = noop");
+  EXPECT_EQ(armed_count, 3u);
+  const auto sites = armed_sites();
+  EXPECT_EQ(sites.size(), 3u);
+  EXPECT_THROW(XDMODML_FAILPOINT("test.a"), FailpointError);
+  EXPECT_TRUE(triggered("test.b"));
+  EXPECT_NO_THROW(XDMODML_FAILPOINT("test.c"));
+  EXPECT_THROW(arm_from_spec("test.d"), InvalidArgument);        // no '='
+  EXPECT_THROW(arm_from_spec("test.d=nope"), InvalidArgument);   // bad action
+  EXPECT_THROW(arm_from_spec("=error(1)"), InvalidArgument);     // no site
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsSpecAndSeed) {
+  ::setenv("XDMODML_FAILPOINTS", "test.env=error(9)", 1);
+  ::setenv("XDMODML_FAILPOINT_SEED", "7", 1);
+  EXPECT_EQ(arm_from_env(), 1u);
+  try {
+    XDMODML_FAILPOINT("test.env");
+    FAIL() << "expected FailpointError";
+  } catch (const FailpointError& e) {
+    EXPECT_EQ(e.code(), 9);
+  }
+  ::unsetenv("XDMODML_FAILPOINTS");
+  ::unsetenv("XDMODML_FAILPOINT_SEED");
+  reset();
+  EXPECT_EQ(arm_from_env(), 0u);
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(FailpointTest, DisarmAllQuiescesTheGate) {
+  arm_from_spec("test.a=error(1);test.b=return");
+  EXPECT_TRUE(armed());
+  disarm_all();
+  EXPECT_FALSE(armed());
+  EXPECT_NO_THROW(plain_site());
+  // Counters survive disarm (until reset).
+  arm("test.a", Policy::parse("noop"));
+  EXPECT_NO_THROW(XDMODML_FAILPOINT("test.a"));
+}
+
+TEST_F(FailpointTest, RearmResetsBudgetKeepsLifetimeCounters) {
+  arm("test.plain", Policy::parse("error(1)*1"));
+  EXPECT_THROW(plain_site(), FailpointError);
+  EXPECT_NO_THROW(plain_site());  // budget spent
+  arm("test.plain", Policy::parse("error(2)*1"));  // re-arm: fresh budget
+  EXPECT_THROW(plain_site(), FailpointError);
+  const auto stats = site_stats("test.plain");
+  EXPECT_EQ(stats.triggers, 2u);
+  EXPECT_EQ(stats.evaluations, 3u);
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluationIsExactlyCounted) {
+  constexpr int kThreads = 8;
+  constexpr int kEvalsPerThread = 1000;
+  constexpr std::uint64_t kBudget = 100;
+  arm("test.concurrent",
+      Policy::parse("one_in(3):error(1)*" + std::to_string(kBudget)));
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> caught{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&caught] {
+      for (int i = 0; i < kEvalsPerThread; ++i) {
+        try {
+          XDMODML_FAILPOINT("test.concurrent");
+        } catch (const FailpointError&) {
+          caught.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto stats = site_stats("test.concurrent");
+  EXPECT_EQ(stats.evaluations,
+            static_cast<std::uint64_t>(kThreads) * kEvalsPerThread);
+  // The trigger budget is enforced exactly even under contention, and
+  // every trigger surfaced as exactly one caught exception.
+  EXPECT_EQ(stats.triggers, kBudget);
+  EXPECT_EQ(caught.load(), kBudget);
+}
+
+}  // namespace
+}  // namespace xdmodml::fp

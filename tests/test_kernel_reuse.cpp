@@ -4,7 +4,10 @@
 //    to 1e-3 (binary solve and the 20-class one-vs-one fit) and on
 //    predicted labels exactly;
 //  * a tuning sweep with the shared per-γ cache produces a (γ, C)
-//    accuracy table bit-identical to per-cell refits.
+//    accuracy table bit-identical to per-cell refits;
+//  * the cache's degraded modes (bypass / compute-without-caching, and
+//    evict-and-retry after allocation faults) are bit-identical to the
+//    cached fast path — degradation changes cost, never answers.
 #include "ml/cross_validation.hpp"
 
 #include <gtest/gtest.h>
@@ -16,7 +19,9 @@
 #include "ml/kernel.hpp"
 #include "ml/smo.hpp"
 #include "ml/svm.hpp"
+#include "util/failpoint.hpp"
 #include "util/matrix.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace xdmodml::ml {
@@ -52,8 +57,10 @@ Dataset make_class_blobs(int classes, std::size_t per_class,
 
 SmoResult solve_through_cache(const Matrix& X,
                               std::span<const signed char> y,
-                              GramPrecision precision) {
+                              GramPrecision precision,
+                              bool bypass = false) {
   SharedGramCache cache(X, Kernel::rbf(0.3), X.rows(), precision);
+  cache.set_bypass(bypass);
   std::vector<double> p(X.rows(), -1.0);
   std::vector<double> c(X.rows(), 10.0);
   SmoProblem prob;
@@ -141,6 +148,143 @@ TEST(GramPrecisionEquivalence, TwentyClassOvoFitAgreesAcrossPrecisions) {
     for (std::size_t k = 0; k < p32.size(); ++k) {
       EXPECT_NEAR(p32[k], p64[k], 1e-3) << "probe " << i << " class " << k;
     }
+  }
+}
+
+// --- Degraded-mode differentials ------------------------------------
+//
+// The cached path and both degraded paths (explicit bypass, failpoint-
+// forced uncached rows, evict-and-retry after allocation faults) all
+// fill rows through the same compute_row helper, so the solver must see
+// bit-identical Gram values and produce bit-identical results.  These
+// assert EXPECT_EQ on doubles deliberately.
+
+TEST(GramCacheDegradedPaths, BypassSolvesBitIdenticalToCached) {
+  Rng rng(57);
+  Matrix X;
+  std::vector<signed char> y;
+  for (int i = 0; i < 80; ++i) {
+    const int label = i % 2 == 0 ? 1 : -1;
+    X.append_row(std::vector<double>{rng.normal(label * 1.1, 1.0),
+                                     rng.normal(0.0, 1.0),
+                                     rng.normal(label * 0.5, 0.9)});
+    y.push_back(static_cast<signed char>(label));
+  }
+  for (const auto precision :
+       {GramPrecision::kFloat32, GramPrecision::kFloat64}) {
+    const auto cached = solve_through_cache(X, y, precision);
+    const auto bypassed = solve_through_cache(X, y, precision, true);
+    ASSERT_TRUE(cached.converged);
+    EXPECT_EQ(bypassed.rho, cached.rho);
+    EXPECT_EQ(bypassed.objective, cached.objective);
+    ASSERT_EQ(bypassed.alpha.size(), cached.alpha.size());
+    for (std::size_t i = 0; i < cached.alpha.size(); ++i) {
+      EXPECT_EQ(bypassed.alpha[i], cached.alpha[i]) << "alpha " << i;
+    }
+  }
+}
+
+TEST(GramCacheDegradedPaths, BudgetFailpointForcesUncachedIdenticalSolve) {
+  Rng rng(58);
+  Matrix X;
+  std::vector<signed char> y;
+  for (int i = 0; i < 70; ++i) {
+    const int label = i % 2 == 0 ? 1 : -1;
+    X.append_row(std::vector<double>{rng.normal(label * 1.2, 1.0),
+                                     rng.normal(0.0, 1.0)});
+    y.push_back(static_cast<signed char>(label));
+  }
+  const auto cached = solve_through_cache(X, y, GramPrecision::kFloat32);
+
+  const auto before = obs::MetricsRegistry::instance().snapshot();
+  fp::reset();
+  fp::arm("gram_cache.budget", fp::Policy::parse("return"));
+  const auto degraded = solve_through_cache(X, y, GramPrecision::kFloat32);
+  fp::reset();
+  const auto after = obs::MetricsRegistry::instance().snapshot();
+
+  // Every row was computed without caching...
+  EXPECT_GT(after.counter("gram_cache.uncached_rows") -
+                before.counter("gram_cache.uncached_rows"),
+            0u);
+  // ...and the answers did not move by a single bit.
+  EXPECT_EQ(degraded.rho, cached.rho);
+  EXPECT_EQ(degraded.objective, cached.objective);
+  for (std::size_t i = 0; i < cached.alpha.size(); ++i) {
+    EXPECT_EQ(degraded.alpha[i], cached.alpha[i]) << "alpha " << i;
+  }
+}
+
+TEST(GramCacheDegradedPaths, AllocFaultsRecoverByEvictAndRetry) {
+  Rng rng(59);
+  Matrix X;
+  std::vector<signed char> y;
+  for (int i = 0; i < 70; ++i) {
+    const int label = i % 2 == 0 ? 1 : -1;
+    X.append_row(std::vector<double>{rng.normal(label * 1.2, 1.0),
+                                     rng.normal(0.0, 1.0)});
+    y.push_back(static_cast<signed char>(label));
+  }
+  const auto clean = solve_through_cache(X, y, GramPrecision::kFloat64);
+
+  const auto before = obs::MetricsRegistry::instance().snapshot();
+  fp::reset();
+  fp::arm("gram_cache.alloc", fp::Policy::parse("one_in(3):error(1)"), 11);
+  const auto faulted = solve_through_cache(X, y, GramPrecision::kFloat64);
+  const auto triggers = fp::site_stats("gram_cache.alloc").triggers;
+  fp::reset();
+  const auto after = obs::MetricsRegistry::instance().snapshot();
+
+  // The schedule really injected allocation failures, every one was
+  // absorbed by evict-and-retry, and the solve still matches exactly.
+  EXPECT_GT(triggers, 0u);
+  EXPECT_EQ(after.counter("fail.gram_cache.alloc") -
+                before.counter("fail.gram_cache.alloc"),
+            triggers);
+  EXPECT_EQ(after.counter("retry.gram_cache.evict_retry") -
+                before.counter("retry.gram_cache.evict_retry"),
+            triggers);
+  EXPECT_EQ(faulted.rho, clean.rho);
+  EXPECT_EQ(faulted.objective, clean.objective);
+  for (std::size_t i = 0; i < clean.alpha.size(); ++i) {
+    EXPECT_EQ(faulted.alpha[i], clean.alpha[i]) << "alpha " << i;
+  }
+}
+
+TEST(GramCacheDegradedPaths, OvoFitUnderBudgetFaultMatchesCachedFit) {
+  const auto ds = make_class_blobs(5, 14, 4, 4.0, 83);
+  const auto probes = make_class_blobs(5, 6, 4, 4.0, 84);
+  auto fit = [&] {
+    SvmConfig cfg;
+    cfg.kernel = Kernel::rbf(0.1);
+    cfg.c = 10.0;
+    cfg.smo.tolerance = 1e-8;
+    SvmClassifier clf(cfg, 5);
+    clf.fit(ds.X, ds.labels, 5);
+    return clf;
+  };
+  const auto clf_cached = fit();
+  fp::reset();
+  fp::arm("gram_cache.budget", fp::Policy::parse("return"));
+  const auto clf_degraded = fit();
+  fp::reset();
+
+  ASSERT_EQ(clf_degraded.num_machines(), clf_cached.num_machines());
+  for (std::size_t m = 0; m < clf_cached.num_machines(); ++m) {
+    const auto& a = clf_degraded.machine(m);
+    const auto& b = clf_cached.machine(m);
+    EXPECT_NEAR(a.rho(), b.rho(), 1e-3) << "machine " << m;
+    const auto ca = a.coefficients();
+    const auto cb = b.coefficients();
+    ASSERT_EQ(ca.size(), cb.size()) << "machine " << m;
+    for (std::size_t s = 0; s < ca.size(); ++s) {
+      EXPECT_NEAR(ca[s], cb[s], 1e-3) << "machine " << m << " coef " << s;
+    }
+  }
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(clf_degraded.predict(probes.X.row(i)),
+              clf_cached.predict(probes.X.row(i)))
+        << "probe " << i;
   }
 }
 

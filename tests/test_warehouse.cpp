@@ -1,8 +1,15 @@
-// Tests for the XDMoD-lite warehouse: ingest, filters, group-by
+// Tests for the XDMoD-lite warehouse: ingest (validation, all-or-nothing
+// batches, dead letters, transient-fault retry), filters, group-by
 // aggregation and report rendering.
 #include "xdmod/warehouse.hpp"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
 
 namespace xdmodml::xdmod {
 namespace {
@@ -140,6 +147,122 @@ TEST(Warehouse, MonthDimensionAndTimeFilter) {
   Filter g;
   g.start_before = 30.0 * 24 * 3600;
   EXPECT_EQ(w.query(g).size(), 1u);
+}
+
+TEST(Warehouse, ValidateNamesTheOffendingField) {
+  EXPECT_EQ(Warehouse::validate(job("VASP", "QC,ES", 4, 2.0)), std::nullopt);
+  auto zero_nodes = job("VASP", "QC,ES", 4, 2.0);
+  zero_nodes.nodes = 0;
+  EXPECT_NE(Warehouse::validate(zero_nodes), std::nullopt);
+  auto negative_wall = job("VASP", "QC,ES", 4, -2.0);
+  EXPECT_NE(Warehouse::validate(negative_wall), std::nullopt);
+  auto nan_start = job("VASP", "QC,ES", 4, 2.0);
+  nan_start.start_epoch_seconds = std::nan("");
+  EXPECT_NE(Warehouse::validate(nan_start), std::nullopt);
+}
+
+TEST(Warehouse, SingleIngestRejectsInvalidRowUnchanged) {
+  Warehouse w;
+  auto bad = job("VASP", "QC,ES", 4, 2.0);
+  bad.cores_per_node = 0;
+  EXPECT_THROW(w.ingest(std::move(bad)), InvalidArgument);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_TRUE(w.dead_letters().empty());
+}
+
+TEST(Warehouse, SpanIngestIsAllOrNothing) {
+  // Regression: the old span overload inserted rows as it walked the
+  // batch, so a mid-batch reject left the valid prefix applied and the
+  // caller's retry then double-ingested it.  Now the whole batch is
+  // validated first and a reject leaves the warehouse untouched.
+  Warehouse w;
+  std::vector<supremm::JobSummary> batch{job("VASP", "QC,ES", 4, 2.0),
+                                         job("NAMD", "MD", 8, 4.0),
+                                         job("VASP", "QC,ES", 2, 1.0)};
+  batch[1].nodes = 0;  // poison the middle row
+  EXPECT_THROW(w.ingest(std::span<const supremm::JobSummary>(batch)),
+               InvalidArgument);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_TRUE(w.dead_letters().empty());
+
+  batch[1].nodes = 8;
+  w.ingest(std::span<const supremm::JobSummary>(batch));
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(Warehouse, IngestBatchDeadLettersInvalidRows) {
+  Warehouse w;
+  std::vector<supremm::JobSummary> batch{job("VASP", "QC,ES", 4, 2.0),
+                                         job("NAMD", "MD", 8, 4.0),
+                                         job("VASP", "QC,ES", 2, 1.0)};
+  batch[1].wall_seconds = -1.0;
+  const auto report = w.ingest_batch(batch);  // default: kDeadLetter
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.dead_lettered, 1u);
+  EXPECT_EQ(w.size(), 2u);
+  ASSERT_EQ(w.dead_letters().size(), 1u);
+  EXPECT_EQ(w.dead_letters()[0].job.application, "NAMD");
+  EXPECT_NE(w.dead_letters()[0].reason.find("wall_seconds"),
+            std::string::npos);
+}
+
+TEST(Warehouse, CommitRetryRecoversFromTransientFaults) {
+  fp::reset();
+  auto& registry = obs::MetricsRegistry::instance();
+  const auto before = registry.snapshot();
+  // Two injected commit failures against a budget of three retries: the
+  // batch must land exactly once, with the retries visible in the
+  // report and the fail./retry. counters.
+  fp::arm("warehouse.ingest.commit", fp::Policy::parse("error(5)*2"));
+  Warehouse w;
+  std::vector<supremm::JobSummary> batch{job("VASP", "QC,ES", 4, 2.0),
+                                         job("NAMD", "MD", 8, 4.0)};
+  IngestOptions options;
+  options.max_retries = 3;
+  options.backoff_ms = 1;
+  const auto report = w.ingest_batch(batch, options);
+  fp::reset();
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.retries, 2u);
+  EXPECT_EQ(report.dead_lettered, 0u);
+  EXPECT_EQ(w.size(), 2u);
+  const auto after = registry.snapshot();
+  EXPECT_EQ(after.counter("fail.warehouse.commit") -
+                before.counter("fail.warehouse.commit"),
+            2u);
+  EXPECT_EQ(after.counter("retry.warehouse.commit") -
+                before.counter("retry.warehouse.commit"),
+            2u);
+}
+
+TEST(Warehouse, CommitFaultBeyondRetriesLeavesNoPartialState) {
+  fp::reset();
+  fp::arm("warehouse.ingest.commit", fp::Policy::parse("error(5)"));
+  Warehouse w;
+  std::vector<supremm::JobSummary> batch{job("VASP", "QC,ES", 4, 2.0)};
+  IngestOptions options;
+  options.max_retries = 2;
+  options.backoff_ms = 0;
+  EXPECT_THROW(w.ingest_batch(batch, options), fp::FailpointError);
+  fp::reset();
+  // The failed batch left no trace: nothing committed, nothing
+  // dead-lettered (the rows were valid — the *commit* failed).
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_TRUE(w.dead_letters().empty());
+}
+
+TEST(Warehouse, ValidateRejectFailpointDeadLettersHealthyRows) {
+  fp::reset();
+  fp::arm("warehouse.validate.reject", fp::Policy::parse("return*1"));
+  Warehouse w;
+  std::vector<supremm::JobSummary> batch{job("VASP", "QC,ES", 4, 2.0),
+                                         job("NAMD", "MD", 8, 4.0)};
+  const auto report = w.ingest_batch(batch);
+  fp::reset();
+  EXPECT_EQ(report.accepted, 1u);
+  EXPECT_EQ(report.dead_lettered, 1u);
+  ASSERT_EQ(w.dead_letters().size(), 1u);
+  EXPECT_NE(w.dead_letters()[0].reason.find("failpoint"), std::string::npos);
 }
 
 TEST(MonthBucket, Formatting) {
