@@ -1,0 +1,252 @@
+// Compiled SVM inference plan: single-query and batched prediction
+// throughput, compiled vs legacy, f32 vs f64 pools, SIMD vs scalar.
+//
+// The paper's deployment story pushes every unidentified job through a
+// 20-class one-vs-one SVM (190 machines, rbf γ=0.1, C=1000).  The
+// legacy path evaluates K(x, sv) machine by machine, re-touching every
+// duplicated support vector; the compiled plan (DESIGN.md §12) fuses
+// all machines into one deduplicated SV pool, computes a single kernel
+// row per query through the SIMD microkernels, and reduces each
+// machine as a sparse coef-dot.  This bench trains the Table-2 model,
+// verifies the two paths agree (labels identical, f64 decision values
+// within 1e-10), reports the pool's dedup ratio, and times six arms:
+//
+//   legacy_single / legacy_batch      — old path (native ISA)
+//   legacy_single_scalar              — old path, XDMODML_SIMD=scalar
+//   compiled_single / compiled_batch  — plan path (native ISA)
+//   compiled_batch_f32                — plan path, float32 pool
+//   compiled_batch_scalar             — plan path, scalar microkernels
+//
+// Acceptance gate (ISSUE 10): compiled+SIMD batched predict_proba must
+// run ≥ 3× the legacy-scalar throughput, and the pool must dedup > 2×.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ml/svm.hpp"
+#include "ml/svm_plan.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace xdmodml;
+using namespace xdmodml::bench;
+
+struct InferModel {
+  ml::SvmClassifier svm;
+  Matrix probes;          ///< standardized probe features
+  std::size_t classes;
+};
+
+InferModel build_model(std::uint64_t seed, std::size_t per_class,
+                       std::size_t n_probes) {
+  auto gen = workload::WorkloadGenerator::standard({}, seed);
+  const auto schema = supremm::AttributeSchema::full();
+  const auto train_jobs = generate_table2_train(gen, per_class);
+  const auto train = workload::build_summary_dataset(
+      train_jobs, schema, supremm::label_by_application(),
+      table2_applications());
+
+  ml::Standardizer standardizer;
+  const Matrix X = standardizer.fit_transform(train.X);
+
+  ml::SvmConfig cfg;
+  cfg.kernel = ml::Kernel::rbf(0.1);
+  cfg.c = 1000.0;
+  cfg.probability = true;
+  ml::SvmClassifier svm(cfg, 42);
+  svm.fit(X, train.labels, static_cast<int>(train.class_names.size()));
+
+  const auto probe_jobs = generate_table2_test(gen, n_probes);
+  Matrix probes;
+  for (const auto& job : probe_jobs) {
+    auto row = job.summary.extract(schema);
+    standardizer.transform_row(row);
+    probes.append_row(row);
+  }
+  return {std::move(svm), std::move(probes), train.class_names.size()};
+}
+
+/// Sums predict_proba over every probe row (single-query path).
+double sweep_single(const ml::SvmClassifier& svm, const Matrix& probes) {
+  double sink = 0.0;
+  for (std::size_t r = 0; r < probes.rows(); ++r) {
+    sink += svm.predict_proba(probes.row(r))[0];
+  }
+  return sink;
+}
+
+/// Sums predict_proba_batch over the probe matrix (batched path).
+double sweep_batch(const ml::SvmClassifier& svm, const Matrix& probes) {
+  double sink = 0.0;
+  for (const auto& p : svm.predict_proba_batch(probes)) sink += p[0];
+  return sink;
+}
+
+bool verify_paths(const ml::SvmClassifier& svm, const Matrix& probes) {
+  ml::set_svm_predict_mode(ml::SvmPredictMode::kLegacy);
+  const auto legacy_labels = svm.predict_batch(probes);
+  ml::set_svm_predict_mode(ml::SvmPredictMode::kCompiled);
+  const auto compiled_labels = svm.predict_batch(probes);
+  if (legacy_labels != compiled_labels) {
+    std::printf("ERROR: legacy and compiled labels disagree\n");
+    return false;
+  }
+
+  // Per-machine decision values on a probe sample: the compiled sparse
+  // coef-dot over the shared kernel row must match the legacy
+  // machine-by-machine evaluation to 1e-10 (f64 pool).
+  const auto& plan = svm.inference_plan();
+  std::vector<double> krow(plan.unique_support_vectors());
+  double max_diff = 0.0;
+  const std::size_t sample = probes.rows() < 32 ? probes.rows() : 32;
+  for (std::size_t r = 0; r < sample; ++r) {
+    const auto x = probes.row(r);
+    plan.kernel_row(x, krow);
+    for (std::size_t m = 0; m < plan.num_machines(); ++m) {
+      const double diff =
+          std::abs(plan.decision_value(m, krow) -
+                   svm.machine(m).decision_value(x));
+      if (diff > max_diff) max_diff = diff;
+    }
+  }
+  std::printf("max |compiled - legacy| decision value: %.3g over %zu "
+              "probes x %zu machines\n",
+              max_diff, sample, plan.num_machines());
+  if (max_diff > 1e-10) {
+    std::printf("ERROR: f64 decision values diverge beyond 1e-10\n");
+    return false;
+  }
+  return true;
+}
+
+void run_experiment() {
+  const auto model = build_model(601, scaled(30), scaled(500));
+  const auto& svm = model.svm;
+  const auto& probes = model.probes;
+  auto& json = BenchJsonRecorder::instance();
+  const std::size_t threads = ThreadPool::global().size();
+  const auto best_isa = simd::active();
+  const double n = static_cast<double>(probes.rows());
+
+  std::printf("=== compiled SVM inference: %zu classes, %zu machines, "
+              "%zu probes, %zu pool thread(s), isa=%s ===\n\n",
+              model.classes, svm.num_machines(), probes.rows(), threads,
+              std::string(simd::isa_name(best_isa)).c_str());
+
+  const auto& plan = svm.inference_plan();
+  std::printf("plan: %zu/%zu unique SVs, dedup %.2fx, %zu KiB f64 pool, "
+              "provenance=%s\n\n",
+              plan.unique_support_vectors(), plan.total_support_vectors(),
+              plan.dedup_ratio(), plan.pool_bytes() / 1024,
+              plan.provenance_keyed() ? "rows" : "content-hash");
+  if (plan.dedup_ratio() <= 2.0) {
+    std::printf("ERROR: dedup ratio %.2fx below the 2x acceptance gate\n",
+                plan.dedup_ratio());
+    return;
+  }
+  if (!verify_paths(svm, probes)) return;
+
+  // f32 arm rides a copy so the f64 plan above stays live for the
+  // other arms; labels must not change under quantization.
+  ml::SvmClassifier svm32 = svm;
+  svm32.set_plan_precision(ml::GramPrecision::kFloat32);
+  ml::set_svm_predict_mode(ml::SvmPredictMode::kCompiled);
+  if (svm32.predict_batch(probes) != svm.predict_batch(probes)) {
+    std::printf("ERROR: f32 pool changes predicted labels\n");
+    return;
+  }
+
+  struct Arm {
+    const char* op;
+    ml::SvmPredictMode mode;
+    simd::Isa isa;
+    const ml::SvmClassifier* clf;
+    bool batch;
+  };
+  const Arm arms[] = {
+      {"legacy_single", ml::SvmPredictMode::kLegacy, best_isa, &svm, false},
+      {"legacy_single_scalar", ml::SvmPredictMode::kLegacy,
+       simd::Isa::kScalar, &svm, false},
+      {"legacy_batch", ml::SvmPredictMode::kLegacy, best_isa, &svm, true},
+      {"compiled_single", ml::SvmPredictMode::kCompiled, best_isa, &svm,
+       false},
+      {"compiled_batch", ml::SvmPredictMode::kCompiled, best_isa, &svm,
+       true},
+      {"compiled_batch_f32", ml::SvmPredictMode::kCompiled, best_isa,
+       &svm32, true},
+      {"compiled_batch_scalar", ml::SvmPredictMode::kCompiled,
+       simd::Isa::kScalar, &svm, true},
+  };
+
+  TextTable table({"arm", "ms (median)", "probes/sec"});
+  double legacy_scalar_ms = 0.0;
+  double compiled_batch_ms = 0.0;
+  for (const auto& arm : arms) {
+    ml::set_svm_predict_mode(arm.mode);
+    simd::set_active(arm.isa);
+    const auto t = time_median_ms(
+        [&] {
+          benchmark::DoNotOptimize(arm.batch ? sweep_batch(*arm.clf, probes)
+                                             : sweep_single(*arm.clf, probes));
+        },
+        /*repeats=*/3);
+    simd::set_active(best_isa);
+    if (std::string_view(arm.op) == "legacy_single_scalar") {
+      legacy_scalar_ms = t.median_ms;
+    }
+    if (std::string_view(arm.op) == "compiled_batch") {
+      compiled_batch_ms = t.median_ms;
+    }
+    json.record("bench_svm_infer", arm.op, t.median_ms, probes.rows(),
+                arm.batch ? threads : 1, t.repeats);
+    table.add_row({arm.op, format_double(t.median_ms, 2),
+                   format_double(n / t.median_ms * 1000.0, 0)});
+  }
+  ml::set_svm_predict_mode(ml::SvmPredictMode::kCompiled);
+  std::printf("%s", table.render().c_str());
+
+  const double speedup = legacy_scalar_ms / compiled_batch_ms;
+  std::printf("\ncompiled+SIMD batch vs legacy scalar: %.2fx "
+              "(gate: >= 3x)%s\n",
+              speedup, speedup >= 3.0 ? "" : "  *** BELOW GATE ***");
+}
+
+void bm_legacy_single(benchmark::State& state) {
+  const auto model = build_model(602, scaled(20), 100);
+  ml::set_svm_predict_mode(ml::SvmPredictMode::kLegacy);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_single(model.svm, model.probes));
+  }
+  ml::set_svm_predict_mode(ml::SvmPredictMode::kCompiled);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(model.probes.rows()));
+}
+BENCHMARK(bm_legacy_single)->Unit(benchmark::kMillisecond);
+
+void bm_compiled_batch(benchmark::State& state) {
+  const auto model = build_model(602, scaled(20), 100);
+  ml::set_svm_predict_mode(ml::SvmPredictMode::kCompiled);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_batch(model.svm, model.probes));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(model.probes.rows()));
+}
+BENCHMARK(bm_compiled_batch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xdmodml::bench::BenchJsonRecorder::instance().parse_args(argc, argv);
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -228,6 +228,7 @@ std::string ClassificationService::report() const {
      << stats_.identified << " identified, " << stats_.attributed
      << " attributed at p >= " << threshold_ << ", " << stats_.unresolved
      << " unresolved, " << stats_.failed << " failed)\n";
+  os << "model: " << classifier_->model_info() << "\n";
   if (!warehouse_.dead_letters().empty()) {
     // Surfacing the dead letters is what keeps "recovered" honest: every
     // job the serving path refused is accounted for here, not dropped.

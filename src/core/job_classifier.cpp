@@ -1,6 +1,9 @@
 #include "core/job_classifier.hpp"
 
+#include <sstream>
+
 #include "ml/model_io.hpp"
+#include "ml/svm_plan.hpp"
 #include "util/error.hpp"
 
 namespace xdmodml::core {
@@ -43,6 +46,29 @@ void JobClassifier::train(const ml::Dataset& train_set) {
   }
   model_->fit(standardized, train_set.labels,
               static_cast<int>(class_names_.size()));
+}
+
+std::string JobClassifier::model_info() const {
+  XDMODML_CHECK(trained(), "model_info before train");
+  std::ostringstream out;
+  out << algorithm_name(config_.algorithm) << ", " << class_names_.size()
+      << " classes";
+  if (config_.algorithm == Algorithm::kSvm) {
+    const auto& svm = static_cast<const ml::SvmClassifier&>(*model_);
+    out << ", " << svm.num_machines() << " machines, predict="
+        << ml::svm_predict_mode_name(ml::svm_predict_mode());
+    if (const auto plan = svm.plan_if_built()) {
+      std::ostringstream ratio;
+      ratio.precision(2);
+      ratio << std::fixed << plan->dedup_ratio();
+      out << ", plan " << plan->unique_support_vectors() << "/"
+          << plan->total_support_vectors() << " SVs (dedup " << ratio.str()
+          << "x, " << plan->pool_bytes() / 1024 << " KiB f"
+          << (plan->precision() == ml::GramPrecision::kFloat32 ? 32 : 64)
+          << ")";
+    }
+  }
+  return out.str();
 }
 
 LabeledPrediction JobClassifier::predict(

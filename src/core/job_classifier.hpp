@@ -56,6 +56,13 @@ class JobClassifier {
   void train(const ml::Dataset& train_set);
 
   bool trained() const { return model_ != nullptr; }
+
+  /// One-line description of the trained model for operational reports:
+  /// algorithm, class count, and — for the SVM — the active prediction
+  /// mode plus the compiled plan's pool stats when one has been built
+  /// (peeked via plan_if_built(); never forces a build).
+  std::string model_info() const;
+
   const std::vector<std::string>& class_names() const { return class_names_; }
   const supremm::AttributeSchema& schema() const { return config_.schema; }
   const JobClassifierConfig& config() const { return config_; }

@@ -49,9 +49,14 @@ class Classifier {
   /// immutable, so per-row prediction is const-thread-safe; results are
   /// identical to the serial row-by-row loop regardless of scheduling.
   /// Safe to call from a pool worker (nested dispatch runs inline).
-  std::vector<int> predict_batch(const Matrix& X) const;
-  std::vector<std::vector<double>> predict_proba_batch(const Matrix& X) const;
-  std::vector<Prediction> predict_batch_with_probability(
+  /// Virtual so models with a fused batch path (the SVM's compiled
+  /// inference plan sweeps blocks of queries against one shared
+  /// support-vector pool) can override; overrides must return the same
+  /// labels as the default per-row loop.
+  virtual std::vector<int> predict_batch(const Matrix& X) const;
+  virtual std::vector<std::vector<double>> predict_proba_batch(
+      const Matrix& X) const;
+  virtual std::vector<Prediction> predict_batch_with_probability(
       const Matrix& X) const;
 
   virtual int num_classes() const = 0;

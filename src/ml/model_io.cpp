@@ -37,6 +37,13 @@ void write_vector(std::ostream& out, const std::string& tag,
   out << '\n';
 }
 
+void write_index_vector(std::ostream& out, const std::string& tag,
+                        std::span<const std::size_t> values) {
+  out << tag << ' ' << values.size();
+  for (const std::size_t v : values) out << ' ' << v;
+  out << '\n';
+}
+
 std::string TokenReader::next_token() {
   std::string token;
   if (!(in_ >> token)) {
@@ -44,6 +51,8 @@ std::string TokenReader::next_token() {
   }
   return token;
 }
+
+std::string TokenReader::read_tag() { return next_token(); }
 
 void TokenReader::expect(const std::string& tag) {
   const auto token = next_token();
@@ -70,6 +79,22 @@ std::int64_t TokenReader::read_int(const std::string& tag) {
 std::string TokenReader::read_string(const std::string& tag) {
   expect(tag);
   return next_token();
+}
+
+std::vector<std::size_t> TokenReader::read_index_vector(
+    const std::string& tag) {
+  expect(tag);
+  std::int64_t n = 0;
+  XDMODML_CHECK(static_cast<bool>(in_ >> n) && n >= 0,
+                "model stream: bad index vector length for tag " + tag);
+  std::vector<std::size_t> values(static_cast<std::size_t>(n));
+  for (auto& v : values) {
+    std::int64_t raw = 0;
+    XDMODML_CHECK(static_cast<bool>(in_ >> raw) && raw >= 0,
+                  "model stream: bad index element for tag " + tag);
+    v = static_cast<std::size_t>(raw);
+  }
+  return values;
 }
 
 std::vector<double> TokenReader::read_vector(const std::string& tag) {

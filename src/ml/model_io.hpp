@@ -10,6 +10,7 @@
 // plumbing they use.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -27,6 +28,10 @@ void write_string(std::ostream& out, const std::string& tag,
                   const std::string& value);
 void write_vector(std::ostream& out, const std::string& tag,
                   std::span<const double> values);
+/// Index vectors (row provenance) serialize as exact integers, not the
+/// max_digits10 doubles of write_vector.
+void write_index_vector(std::ostream& out, const std::string& tag,
+                        std::span<const std::size_t> values);
 
 /// Token reader with tag validation.
 class TokenReader {
@@ -36,10 +41,16 @@ class TokenReader {
   /// Consumes exactly `tag` or throws.
   void expect(const std::string& tag);
 
+  /// Consumes and returns the next token — for versioned headers where
+  /// the loader must branch on which tag it finds (e.g. binary-svm-v1
+  /// vs binary-svm-v2) instead of demanding one exact spelling.
+  std::string read_tag();
+
   double read_double(const std::string& tag);
   std::int64_t read_int(const std::string& tag);
   std::string read_string(const std::string& tag);
   std::vector<double> read_vector(const std::string& tag);
+  std::vector<std::size_t> read_index_vector(const std::string& tag);
 
  private:
   std::string next_token();

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 #include <optional>
 
 #include "ml/model_io.hpp"
+#include "ml/svm_plan.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace xdmodml::ml {
 
@@ -375,7 +379,10 @@ const PlattSigmoid& BinarySvm::sigmoid() const {
 
 void BinarySvm::save(std::ostream& out) const {
   XDMODML_CHECK(trained_, "cannot save an untrained SVM");
-  io::write_tag(out, "binary-svm-v1");
+  // v2 appends the full-matrix row provenance after the SV rows so a
+  // reloaded model can index-dedup its inference-plan pool; v1 files
+  // (no provenance) still load, falling back to content-hash dedup.
+  io::write_tag(out, "binary-svm-v2");
   io::write_scalar(out, "kernel_type",
                    static_cast<std::int64_t>(kernel_.type));
   io::write_scalar(out, "gamma", kernel_.gamma);
@@ -394,11 +401,14 @@ void BinarySvm::save(std::ostream& out) const {
   for (std::size_t r = 0; r < support_vectors_.rows(); ++r) {
     io::write_vector(out, "sv", support_vectors_.row(r));
   }
+  io::write_index_vector(out, "full_rows", sv_full_rows_);
 }
 
 BinarySvm BinarySvm::load(std::istream& in) {
   io::TokenReader reader(in);
-  reader.expect("binary-svm-v1");
+  const auto tag = reader.read_tag();
+  XDMODML_CHECK(tag == "binary-svm-v1" || tag == "binary-svm-v2",
+                "model stream: unknown binary SVM version '" + tag + "'");
   BinarySvm svm;
   const auto kernel_type = reader.read_int("kernel_type");
   XDMODML_CHECK(kernel_type >= 0 && kernel_type <= 2,
@@ -423,12 +433,82 @@ BinarySvm BinarySvm::load(std::istream& in) {
                   "corrupt SVM support vector width");
     svm.support_vectors_.append_row(row);
   }
+  if (tag == "binary-svm-v2") {
+    svm.sv_full_rows_ = reader.read_index_vector("full_rows");
+    XDMODML_CHECK(svm.sv_full_rows_.empty() ||
+                      svm.sv_full_rows_.size() ==
+                          static_cast<std::size_t>(svs),
+                  "corrupt SVM provenance length");
+  }
   svm.trained_ = true;
   return svm;
 }
 
+/// The lazily built compiled plan.  `once` serializes construction on
+/// concurrent first use; `plan` is additionally published under `m` so
+/// plan_if_built() can peek without entering the call_once.  Lives
+/// behind a unique_ptr because once_flag is immovable and the
+/// classifier must stay movable (load() returns by value).
+struct SvmClassifier::PlanSlot {
+  std::once_flag once;
+  mutable std::mutex m;
+  std::shared_ptr<const SvmInferencePlan> plan;
+};
+
 SvmClassifier::SvmClassifier(SvmConfig config, std::uint64_t seed)
-    : config_(config), seed_(seed) {}
+    : config_(config),
+      seed_(seed),
+      plan_slot_(std::make_unique<PlanSlot>()) {}
+
+SvmClassifier::~SvmClassifier() = default;
+SvmClassifier::SvmClassifier(SvmClassifier&&) noexcept = default;
+SvmClassifier& SvmClassifier::operator=(SvmClassifier&&) noexcept = default;
+
+SvmClassifier::SvmClassifier(const SvmClassifier& other)
+    : config_(other.config_),
+      seed_(other.seed_),
+      num_classes_(other.num_classes_),
+      machines_(other.machines_),
+      plan_slot_(std::make_unique<PlanSlot>()) {}
+
+SvmClassifier& SvmClassifier::operator=(const SvmClassifier& other) {
+  if (this != &other) {
+    config_ = other.config_;
+    seed_ = other.seed_;
+    num_classes_ = other.num_classes_;
+    machines_ = other.machines_;
+    plan_slot_ = std::make_unique<PlanSlot>();
+  }
+  return *this;
+}
+
+const SvmInferencePlan& SvmClassifier::inference_plan() const {
+  XDMODML_CHECK(!machines_.empty(), "predict before fit");
+  PlanSlot& slot = *plan_slot_;
+  std::call_once(slot.once, [&] {
+    auto built = SvmInferencePlan::build(machines_, config_.plan_precision);
+    const std::lock_guard<std::mutex> lock(slot.m);
+    slot.plan = std::move(built);
+  });
+  // call_once completion happens-before every post-once read: no lock.
+  return *slot.plan;
+}
+
+std::shared_ptr<const SvmInferencePlan> SvmClassifier::plan_if_built()
+    const {
+  if (plan_slot_ == nullptr) return nullptr;
+  const std::lock_guard<std::mutex> lock(plan_slot_->m);
+  return plan_slot_->plan;
+}
+
+void SvmClassifier::set_plan_precision(GramPrecision precision) {
+  config_.plan_precision = precision;
+  plan_slot_ = std::make_unique<PlanSlot>();
+}
+
+bool SvmClassifier::use_compiled() const {
+  return svm_predict_mode() == SvmPredictMode::kCompiled;
+}
 
 std::size_t SvmClassifier::machine_index(int a, int b) const {
   XDMODML_CHECK(a >= 0 && b > a && b < num_classes_,
@@ -546,11 +626,71 @@ void SvmClassifier::fit_shared(const Matrix& X, std::span<const int> y,
   } else {
     for (std::size_t i = 0; i < tasks.size(); ++i) train_pair(i);
   }
+
+  // Refit invalidates any previously compiled plan.  In compiled mode
+  // build the fresh plan eagerly so serving threads never pay for it;
+  // legacy mode (and grid-search sweeps run under it) skips the cost.
+  plan_slot_ = std::make_unique<PlanSlot>();
+  if (use_compiled()) inference_plan();
+}
+
+std::vector<double> SvmClassifier::proba_from_kernel_row(
+    const SvmInferencePlan& plan, std::span<const double> krow) const {
+  const auto k = static_cast<std::size_t>(num_classes_);
+  if (config_.probability) {
+    // Same pairwise coupling as the legacy path, with each machine's
+    // decision value reduced off the shared kernel row.
+    Matrix pairwise(k, k, 0.0);
+    for (int a = 0; a < num_classes_; ++a) {
+      for (int b = a + 1; b < num_classes_; ++b) {
+        const std::size_t idx = machine_index(a, b);
+        const auto& slice = plan.machine(idx);
+        XDMODML_CHECK(slice.has_platt,
+                      "probability requested without Platt fit");
+        double r =
+            slice.sigmoid.probability(plan.decision_value(idx, krow));
+        r = std::min(std::max(r, 1e-7), 1.0 - 1e-7);
+        pairwise(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) = r;
+        pairwise(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) =
+            1.0 - r;
+      }
+    }
+    return couple_pairwise_probabilities(pairwise);
+  }
+  std::vector<double> votes(k, 0.0);
+  for (int a = 0; a < num_classes_; ++a) {
+    for (int b = a + 1; b < num_classes_; ++b) {
+      const double f = plan.decision_value(machine_index(a, b), krow);
+      ++votes[static_cast<std::size_t>(f > 0.0 ? a : b)];
+    }
+  }
+  const double total = static_cast<double>(machines_.size());
+  for (auto& v : votes) v /= total;
+  return votes;
+}
+
+int SvmClassifier::votes_from_kernel_row(const SvmInferencePlan& plan,
+                                         std::span<const double> krow) const {
+  std::vector<std::size_t> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (int a = 0; a < num_classes_; ++a) {
+    for (int b = a + 1; b < num_classes_; ++b) {
+      const double f = plan.decision_value(machine_index(a, b), krow);
+      ++votes[static_cast<std::size_t>(f > 0.0 ? a : b)];
+    }
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
 }
 
 std::vector<double> SvmClassifier::predict_proba(
     std::span<const double> x) const {
   XDMODML_CHECK(!machines_.empty(), "predict before fit");
+  if (use_compiled()) {
+    const auto& plan = inference_plan();
+    std::vector<double> krow(plan.unique_support_vectors());
+    plan.kernel_row(x, krow);
+    return proba_from_kernel_row(plan, krow);
+  }
   const auto k = static_cast<std::size_t>(num_classes_);
   if (config_.probability) {
     // Pairwise class-conditional probabilities, clipped away from {0, 1}
@@ -584,6 +724,12 @@ std::vector<double> SvmClassifier::predict_proba(
 
 int SvmClassifier::predict_by_votes(std::span<const double> x) const {
   XDMODML_CHECK(!machines_.empty(), "predict before fit");
+  if (use_compiled()) {
+    const auto& plan = inference_plan();
+    std::vector<double> krow(plan.unique_support_vectors());
+    plan.kernel_row(x, krow);
+    return votes_from_kernel_row(plan, krow);
+  }
   std::vector<std::size_t> votes(static_cast<std::size_t>(num_classes_), 0);
   for (int a = 0; a < num_classes_; ++a) {
     for (int b = a + 1; b < num_classes_; ++b) {
@@ -657,6 +803,97 @@ Prediction SvmClassifier::predict_with_probability(
   const auto proba = predict_proba(x);
   const auto it = std::max_element(proba.begin(), proba.end());
   return {static_cast<int>(it - proba.begin()), *it};
+}
+
+namespace {
+
+// Queries fused per kernel_rows pass.  Each pool block is streamed from
+// memory once per kQueryBlock queries; the krows scratch stays at
+// kQueryBlock × unique doubles per worker.
+constexpr std::size_t kQueryBlock = 8;
+
+obs::Counter& batch_counter() {
+  static auto& c =
+      obs::MetricsRegistry::instance().counter("svm.predict.batches");
+  return c;
+}
+
+obs::Histogram& batch_histogram() {
+  static auto& h =
+      obs::MetricsRegistry::instance().histogram("svm.predict.batch_ns");
+  return h;
+}
+
+// Shared skeleton of the fused batch overrides: sweeps X in
+// kQueryBlock-row blocks against the plan's pool (thread-pool fanned)
+// and hands each row's kernel row to `emit(row, krow)`.  Per-row
+// results are identical to the single-row compiled calls — kernel_rows
+// computes each query independently of its block.
+template <typename Emit>
+void sweep_batch(const SvmInferencePlan& plan, const Matrix& X,
+                 const Emit& emit) {
+  if (X.rows() == 0) return;
+  XDMODML_CHECK(X.cols() == plan.dims(), "predict_batch feature width");
+  batch_counter().inc();
+  obs::ScopedTimer timer(batch_histogram(), "svm.predict.batch");
+  const std::size_t unique = plan.unique_support_vectors();
+  ThreadPool::global().parallel_for_ranges(
+      0, X.rows(), kQueryBlock, [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> krows(kQueryBlock * unique);
+        for (std::size_t q0 = lo; q0 < hi; q0 += kQueryBlock) {
+          const std::size_t b = std::min(kQueryBlock, hi - q0);
+          plan.kernel_rows(X.row(q0).data(), b, krows.data());
+          for (std::size_t i = 0; i < b; ++i) {
+            emit(q0 + i,
+                 std::span<const double>{krows.data() + i * unique, unique});
+          }
+        }
+      });
+}
+
+}  // namespace
+
+std::vector<int> SvmClassifier::predict_batch(const Matrix& X) const {
+  if (!use_compiled()) return Classifier::predict_batch(X);
+  XDMODML_CHECK(!machines_.empty(), "predict before fit");
+  const auto& plan = inference_plan();
+  std::vector<int> labels(X.rows(), -1);
+  sweep_batch(plan, X, [&](std::size_t row, std::span<const double> krow) {
+    if (!config_.probability) {
+      labels[row] = votes_from_kernel_row(plan, krow);
+    } else {
+      const auto proba = proba_from_kernel_row(plan, krow);
+      labels[row] = static_cast<int>(
+          std::max_element(proba.begin(), proba.end()) - proba.begin());
+    }
+  });
+  return labels;
+}
+
+std::vector<std::vector<double>> SvmClassifier::predict_proba_batch(
+    const Matrix& X) const {
+  if (!use_compiled()) return Classifier::predict_proba_batch(X);
+  XDMODML_CHECK(!machines_.empty(), "predict before fit");
+  const auto& plan = inference_plan();
+  std::vector<std::vector<double>> proba(X.rows());
+  sweep_batch(plan, X, [&](std::size_t row, std::span<const double> krow) {
+    proba[row] = proba_from_kernel_row(plan, krow);
+  });
+  return proba;
+}
+
+std::vector<Prediction> SvmClassifier::predict_batch_with_probability(
+    const Matrix& X) const {
+  if (!use_compiled()) return Classifier::predict_batch_with_probability(X);
+  XDMODML_CHECK(!machines_.empty(), "predict before fit");
+  const auto& plan = inference_plan();
+  std::vector<Prediction> out(X.rows());
+  sweep_batch(plan, X, [&](std::size_t row, std::span<const double> krow) {
+    const auto proba = proba_from_kernel_row(plan, krow);
+    const auto it = std::max_element(proba.begin(), proba.end());
+    out[row] = {static_cast<int>(it - proba.begin()), *it};
+  });
+  return out;
 }
 
 std::size_t SvmClassifier::total_support_vectors() const {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -50,6 +51,13 @@ struct SvmConfig {
   /// doubles the rows the byte budget affords and halves reuse
   /// bandwidth; float64 is the exact ablation arm (run-time flag).
   GramPrecision cache_precision = GramPrecision::kFloat32;
+  /// Storage precision of the compiled inference plan's deduplicated
+  /// support-vector pool (see ml/svm_plan.hpp).  Float64 (default)
+  /// keeps compiled decision values within ~1e-10 of the legacy scalar
+  /// path; float32 halves the pool bytes at a magnitude-scaled accuracy
+  /// cost (the paper's features are standardized, so coordinates are
+  /// O(1) and the quantization error is benign).
+  GramPrecision plan_precision = GramPrecision::kFloat64;
 };
 
 /// Parameters of a fitted Platt sigmoid  P(+1|f) = 1/(1+exp(A f + B)).
@@ -97,6 +105,13 @@ class BinarySvm {
 
   bool has_probability() const { return has_platt_; }
   std::size_t num_support_vectors() const { return support_vectors_.rows(); }
+  /// The gathered support-vector rows (inference-plan pool building).
+  const Matrix& support_vectors() const { return support_vectors_; }
+  /// Full-matrix row provenance per SV when fitted via a shared cache
+  /// or loaded from a v2 file; empty otherwise.  Parallel to the SV
+  /// rows when present.
+  std::span<const std::size_t> sv_full_rows() const { return sv_full_rows_; }
+  const Kernel& kernel() const { return kernel_; }
   double rho() const { return rho_; }
   /// alpha_i * y_i per support vector (|coef_i| = alpha_i); exposed for
   /// the float-vs-double equivalence tests.
@@ -134,10 +149,26 @@ class BinarySvm {
   bool trained_ = false;
 };
 
+class SvmInferencePlan;  // ml/svm_plan.hpp
+
 /// One-vs-one multiclass SVM with coupled probability outputs.
+///
+/// Prediction has two runtime-selectable paths (XDMODML_SVM_PREDICT,
+/// see ml/svm_plan.hpp): the legacy per-machine scalar kernel walk, and
+/// the compiled inference plan — one deduplicated support-vector pool
+/// swept with SIMD kernel rows, shared by all machines.  The plan is
+/// built after fit (compiled mode) or lazily and thread-safely on first
+/// compiled prediction (e.g. after load).
 class SvmClassifier final : public Classifier {
  public:
   explicit SvmClassifier(SvmConfig config = {}, std::uint64_t seed = 11);
+  ~SvmClassifier() override;
+
+  /// Copies share nothing: the copy re-derives its plan on first use.
+  SvmClassifier(const SvmClassifier& other);
+  SvmClassifier& operator=(const SvmClassifier& other);
+  SvmClassifier(SvmClassifier&&) noexcept;
+  SvmClassifier& operator=(SvmClassifier&&) noexcept;
 
   void fit(const Matrix& X, std::span<const int> y, int num_classes) override;
 
@@ -192,6 +223,29 @@ class SvmClassifier final : public Classifier {
   Prediction predict_with_probability(
       std::span<const double> x) const override;
 
+  /// Fused batch entry points: in compiled mode, blocks of query rows
+  /// are swept against the shared support-vector pool (one pool read
+  /// serves the whole block); in legacy mode these fall back to the
+  /// per-row base-class loop.  Results match the single-row calls.
+  std::vector<int> predict_batch(const Matrix& X) const override;
+  std::vector<std::vector<double>> predict_proba_batch(
+      const Matrix& X) const override;
+  std::vector<Prediction> predict_batch_with_probability(
+      const Matrix& X) const override;
+
+  /// The compiled inference plan, built on first call (thread-safe via
+  /// std::call_once; concurrent first predictions build exactly once).
+  /// Requires a trained model.
+  const SvmInferencePlan& inference_plan() const;
+
+  /// The plan if some caller already forced its construction, else
+  /// nullptr — report/metrics hooks peek without paying for a build.
+  std::shared_ptr<const SvmInferencePlan> plan_if_built() const;
+
+  /// Re-arms the plan with a new pool storage precision (f32/f64
+  /// A/B arm).  Not thread-safe against concurrent predictions.
+  void set_plan_precision(GramPrecision precision);
+
   int num_classes() const override { return num_classes_; }
   std::size_t num_machines() const { return machines_.size(); }
   /// The idx-th one-vs-one machine in lexicographic (a, b) order;
@@ -206,10 +260,25 @@ class SvmClassifier final : public Classifier {
  private:
   std::size_t machine_index(int a, int b) const;  // requires a < b
 
+  /// True when this call should ride the compiled plan.
+  bool use_compiled() const;
+  /// predict_proba computed from a plan kernel row (coupled
+  /// probabilities or vote fractions, mirroring the legacy rules).
+  std::vector<double> proba_from_kernel_row(
+      const SvmInferencePlan& plan, std::span<const double> krow) const;
+  int votes_from_kernel_row(const SvmInferencePlan& plan,
+                            std::span<const double> krow) const;
+
   SvmConfig config_;
   std::uint64_t seed_;
   int num_classes_ = 0;
   std::vector<BinarySvm> machines_;  // (0,1), (0,2), ..., (k-2,k-1)
+
+  /// Lazily built compiled plan.  Behind a unique_ptr because
+  /// std::once_flag is immovable and the classifier must stay movable
+  /// (load() returns by value); defined in svm.cpp.
+  struct PlanSlot;
+  mutable std::unique_ptr<PlanSlot> plan_slot_;
 };
 
 /// ε-support-vector regression (doubled-variable SMO, as in LIBSVM).

@@ -1,0 +1,335 @@
+#include "ml/svm_plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/simd.hpp"
+
+namespace xdmodml::ml {
+
+namespace {
+
+// Pool rows swept per pass.  A block of support vectors is streamed from
+// memory once and reused for every query of a batch, so the block must
+// fit in L1/L2 alongside a query row: 256 rows × 32 doubles ≈ 64 KiB.
+constexpr std::size_t kPoolBlock = 256;
+
+// Mirrors kernel.cpp: integral degrees up to this bound use
+// exponentiation by squaring (bit-identical to the scalar kernel path).
+constexpr double kMaxIntegralDegree = 64.0;
+
+// The active prediction mode, published once.  -1 = unselected;
+// otherwise the SvmPredictMode value.  Mirrors simd.cpp's startup ISA
+// selection: racing first reads all compute the same env-derived value.
+std::atomic<int> g_mode{-1};
+
+SvmPredictMode choose_startup_mode() {
+  if (const char* env = std::getenv("XDMODML_SVM_PREDICT")) {
+    if (const auto requested = svm_predict_mode_from_string(env)) {
+      return *requested;
+    }
+    std::fprintf(stderr,
+                 "xdmodml: XDMODML_SVM_PREDICT=%s unrecognized "
+                 "(want legacy|compiled); using compiled\n",
+                 env);
+  }
+  return SvmPredictMode::kCompiled;
+}
+
+// FNV-1a over a row's raw bytes — the content-dedup bucket key.  Exact
+// equality is re-verified with memcmp, so collisions only cost a probe.
+std::uint64_t hash_row_bytes(const double* row, std::size_t d) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(row);
+  for (std::size_t i = 0; i < d * sizeof(double); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct PlanMetrics {
+  obs::Gauge& unique_svs;
+  obs::Gauge& total_svs;
+  obs::Gauge& dedup_ratio_x1000;
+  obs::Gauge& pool_bytes;
+  obs::Gauge& precision_bits;
+  obs::Counter& builds;
+
+  static PlanMetrics& instance() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static PlanMetrics m{reg.gauge("svm.plan.unique_svs"),
+                         reg.gauge("svm.plan.total_svs"),
+                         reg.gauge("svm.plan.dedup_ratio_x1000"),
+                         reg.gauge("svm.plan.pool_bytes"),
+                         reg.gauge("svm.plan.precision_bits"),
+                         reg.counter("svm.plan.builds")};
+    return m;
+  }
+};
+
+}  // namespace
+
+SvmPredictMode svm_predict_mode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    m = static_cast<int>(choose_startup_mode());
+    g_mode.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<SvmPredictMode>(m);
+}
+
+void set_svm_predict_mode(SvmPredictMode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+std::string_view svm_predict_mode_name(SvmPredictMode mode) {
+  return mode == SvmPredictMode::kLegacy ? "legacy" : "compiled";
+}
+
+std::optional<SvmPredictMode> svm_predict_mode_from_string(
+    std::string_view name) {
+  if (name == "legacy") return SvmPredictMode::kLegacy;
+  if (name == "compiled") return SvmPredictMode::kCompiled;
+  return std::nullopt;
+}
+
+std::shared_ptr<const SvmInferencePlan> SvmInferencePlan::build(
+    std::span<const BinarySvm> machines, GramPrecision precision) {
+  XDMODML_CHECK(!machines.empty(), "inference plan needs trained machines");
+
+  auto plan = std::shared_ptr<SvmInferencePlan>(new SvmInferencePlan());
+  plan->kernel_ = machines[0].kernel();
+  plan->precision_ = precision;
+  plan->dims_ = machines[0].support_vectors().cols();
+  if (plan->kernel_.type == Kernel::Type::kPolynomial &&
+      plan->kernel_.degree > 0.0 &&
+      plan->kernel_.degree <= kMaxIntegralDegree &&
+      plan->kernel_.degree == std::floor(plan->kernel_.degree)) {
+    plan->integral_degree_ = true;
+    plan->degree_int_ = static_cast<std::uint64_t>(plan->kernel_.degree);
+  }
+
+  // Every one-vs-one machine of a fit shares one kernel; a mixed set
+  // cannot share a pool row sweep.
+  for (const auto& m : machines) {
+    const auto& k = m.kernel();
+    XDMODML_CHECK(k.type == plan->kernel_.type &&
+                      k.gamma == plan->kernel_.gamma &&
+                      k.degree == plan->kernel_.degree &&
+                      k.coef0 == plan->kernel_.coef0,
+                  "inference plan requires one kernel across machines");
+    XDMODML_CHECK(m.support_vectors().cols() == plan->dims_,
+                  "inference plan requires one feature width");
+    XDMODML_CHECK(m.num_support_vectors() > 0,
+                  "inference plan requires trained machines");
+    plan->total_ += m.num_support_vectors();
+  }
+
+  // Provenance keying is valid only when EVERY machine carries full-
+  // matrix row indices (one fit's machines share a row keyspace; a
+  // machine without provenance — e.g. fitted cache-less or loaded from
+  // a v1 file — would alias index 7 of a different matrix).
+  bool provenance = true;
+  for (const auto& m : machines) {
+    if (m.sv_full_rows().size() != m.num_support_vectors()) {
+      provenance = false;
+      break;
+    }
+  }
+  plan->provenance_ = provenance;
+
+  // Stage the unique rows in double regardless of the target precision;
+  // content keying compares the original doubles bit-exactly.
+  const std::size_t d = plan->dims_;
+  std::vector<double> staging;
+  staging.reserve(machines[0].num_support_vectors() * d);
+  std::unordered_map<std::size_t, std::uint32_t> by_full_row;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_content;
+
+  auto pool_index_for = [&](const BinarySvm& m,
+                            std::size_t s) -> std::uint32_t {
+    const std::size_t next = staging.size() / d;
+    XDMODML_CHECK(next <= 0xffffffffull, "support-vector pool too large");
+    const auto row = m.support_vectors().row(s);
+    if (provenance) {
+      const auto [it, inserted] =
+          by_full_row.try_emplace(m.sv_full_rows()[s],
+                                  static_cast<std::uint32_t>(next));
+      if (!inserted) return it->second;
+    } else {
+      auto& bucket = by_content[hash_row_bytes(row.data(), d)];
+      for (const auto idx : bucket) {
+        if (std::memcmp(staging.data() + idx * d, row.data(),
+                        d * sizeof(double)) == 0) {
+          return idx;
+        }
+      }
+      bucket.push_back(static_cast<std::uint32_t>(next));
+    }
+    staging.insert(staging.end(), row.begin(), row.end());
+    return static_cast<std::uint32_t>(next);
+  };
+
+  plan->machines_.reserve(machines.size());
+  for (const auto& m : machines) {
+    MachineSlice slice;
+    const std::size_t svs = m.num_support_vectors();
+    slice.sv_pool_idx.reserve(svs);
+    for (std::size_t s = 0; s < svs; ++s) {
+      slice.sv_pool_idx.push_back(pool_index_for(m, s));
+    }
+    slice.coef.assign(m.coefficients().begin(), m.coefficients().end());
+    slice.rho = m.rho();
+    slice.has_platt = m.has_probability();
+    if (slice.has_platt) slice.sigmoid = m.sigmoid();
+    plan->machines_.push_back(std::move(slice));
+  }
+
+  plan->unique_ = staging.size() / d;
+  if (precision == GramPrecision::kFloat32) {
+    // Quantize the coordinates; kernels evaluate in double on the
+    // widened values, and the cached norms match the quantized pool so
+    // the norm expansion stays self-consistent.
+    plan->pool_f32_.resize(staging.size());
+    for (std::size_t i = 0; i < staging.size(); ++i) {
+      plan->pool_f32_[i] = static_cast<float>(staging[i]);
+    }
+    plan->sq_norms_.resize(plan->unique_);
+    std::vector<double> wide(d);
+    for (std::size_t j = 0; j < plan->unique_; ++j) {
+      for (std::size_t i = 0; i < d; ++i) {
+        wide[i] = static_cast<double>(plan->pool_f32_[j * d + i]);
+      }
+      plan->sq_norms_[j] = simd::squared_norm(wide.data(), d);
+    }
+  } else {
+    plan->pool_f64_ = std::move(staging);
+    plan->sq_norms_.resize(plan->unique_);
+    for (std::size_t j = 0; j < plan->unique_; ++j) {
+      plan->sq_norms_[j] =
+          simd::squared_norm(plan->pool_f64_.data() + j * d, d);
+    }
+  }
+
+  auto& metrics = PlanMetrics::instance();
+  metrics.unique_svs.set(static_cast<std::int64_t>(plan->unique_));
+  metrics.total_svs.set(static_cast<std::int64_t>(plan->total_));
+  metrics.dedup_ratio_x1000.set(
+      static_cast<std::int64_t>(plan->dedup_ratio() * 1000.0));
+  metrics.pool_bytes.set(static_cast<std::int64_t>(plan->pool_bytes()));
+  metrics.precision_bits.set(precision == GramPrecision::kFloat32 ? 32 : 64);
+  metrics.builds.inc();
+  return plan;
+}
+
+double SvmInferencePlan::dedup_ratio() const {
+  return unique_ == 0 ? 0.0
+                      : static_cast<double>(total_) /
+                            static_cast<double>(unique_);
+}
+
+std::size_t SvmInferencePlan::pool_bytes() const {
+  return unique_ * dims_ *
+         (precision_ == GramPrecision::kFloat32 ? sizeof(float)
+                                                : sizeof(double));
+}
+
+void SvmInferencePlan::transform_block(std::span<const double> x, double x_sq,
+                                       const double* rows, std::size_t lo,
+                                       std::size_t hi, double* out) const {
+  const std::size_t len = hi - lo;
+  simd::dot_rows(x.data(), rows, dims_, len, out + lo);
+  switch (kernel_.type) {
+    case Kernel::Type::kLinear:
+      break;
+    case Kernel::Type::kRbf:
+      simd::rbf_row_transform(out + lo, sq_norms_.data() + lo, len, x_sq,
+                              kernel_.gamma);
+      break;
+    case Kernel::Type::kPolynomial: {
+      const double g = kernel_.gamma;
+      const double c0 = kernel_.coef0;
+      if (integral_degree_) {
+        simd::poly_row_transform_powi(out + lo, len, g, c0, degree_int_);
+      } else {
+        for (std::size_t j = lo; j < hi; ++j) {
+          out[j] = std::pow(g * out[j] + c0, kernel_.degree);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void SvmInferencePlan::kernel_rows(const double* queries, std::size_t b,
+                                   double* out) const {
+  if (b == 0) return;
+  static auto& queries_counter =
+      obs::MetricsRegistry::instance().counter("svm.predict.queries");
+  static auto& elements_counter =
+      obs::MetricsRegistry::instance().counter(
+          "svm.predict.kernel_row_elements");
+  queries_counter.inc(b);
+  elements_counter.inc(b * unique_);
+
+  const bool rbf = kernel_.type == Kernel::Type::kRbf;
+  std::vector<double> x_sq(rbf ? b : 0, 0.0);
+  if (rbf) {
+    for (std::size_t q = 0; q < b; ++q) {
+      x_sq[q] = simd::squared_norm(queries + q * dims_, dims_);
+    }
+  }
+
+  // Pool-block outer, query inner: each block of support vectors is
+  // read from memory once per b queries.
+  std::vector<double> wide;
+  if (precision_ == GramPrecision::kFloat32) {
+    wide.resize(std::min(kPoolBlock, unique_) * dims_);
+  }
+  for (std::size_t lo = 0; lo < unique_; lo += kPoolBlock) {
+    const std::size_t hi = std::min(lo + kPoolBlock, unique_);
+    const double* rows = nullptr;
+    if (precision_ == GramPrecision::kFloat32) {
+      const std::size_t n = (hi - lo) * dims_;
+      const float* src = pool_f32_.data() + lo * dims_;
+      for (std::size_t i = 0; i < n; ++i) {
+        wide[i] = static_cast<double>(src[i]);
+      }
+      rows = wide.data();
+    } else {
+      rows = pool_f64_.data() + lo * dims_;
+    }
+    for (std::size_t q = 0; q < b; ++q) {
+      transform_block({queries + q * dims_, dims_}, rbf ? x_sq[q] : 0.0,
+                      rows, lo, hi, out + q * unique_);
+    }
+  }
+}
+
+void SvmInferencePlan::kernel_row(std::span<const double> x,
+                                  std::span<double> out) const {
+  XDMODML_CHECK(x.size() == dims_, "kernel_row probe width mismatch");
+  XDMODML_CHECK(out.size() >= unique_, "kernel_row output too small");
+  kernel_rows(x.data(), 1, out.data());
+}
+
+double SvmInferencePlan::decision_value(std::size_t idx,
+                                        std::span<const double> krow) const {
+  const MachineSlice& slice = machines_[idx];
+  double f = -slice.rho;
+  const std::size_t svs = slice.sv_pool_idx.size();
+  for (std::size_t s = 0; s < svs; ++s) {
+    f += slice.coef[s] * krow[slice.sv_pool_idx[s]];
+  }
+  return f;
+}
+
+}  // namespace xdmodml::ml

@@ -1,0 +1,147 @@
+// Compiled SVM inference plan: a deduplicated support-vector pool with
+// SIMD-batched one-vs-one prediction.
+//
+// Serving is the traffic-facing hot path (the paper's §IV production
+// goal pushes every Uncategorized/NA job through the 20-class RBF
+// classifier), but the legacy `BinarySvm::decision_value` walks each
+// machine's private support-vector copy with a scalar kernel call — a
+// training row that supports many of the k(k−1)/2 one-vs-one machines
+// has K(x, row) recomputed once per machine on every query.
+//
+// The plan fixes that once per model:
+//  * all machines' support vectors are merged into ONE row-major pool of
+//    unique rows — keyed on full-matrix row provenance (`sv_full_rows_`)
+//    when every machine carries it, content (bit-exact row bytes)
+//    otherwise — with per-row squared norms precomputed;
+//  * prediction computes ONE fused kernel row K(x, pool) through the
+//    runtime-dispatched SIMD microkernels (util/simd.hpp: the blocked
+//    4-rows-per-pass dot sweep + vectorized RBF/poly transforms; the
+//    scalar table serves XDMODML_SIMD=scalar builds/CPUs identically);
+//  * each one-vs-one machine reduces its decision value as a sparse
+//    coefficient dot over indices into that shared row;
+//  * a batched entry point evaluates B queries per pool block, so a
+//    block of support vectors is read from memory once per B queries.
+//
+// Storage precision mirrors GramPrecision: kFloat64 (the default) keeps
+// decision values within ~1e-10 of the legacy scalar walk; kFloat32
+// halves the pool bytes by quantizing support-vector *coordinates* to
+// float (kernels are still evaluated in double on the widened values,
+// and the precomputed norms are consistent with the quantized pool).
+//
+// The legacy path remains runtime-selectable via XDMODML_SVM_PREDICT
+// (see SvmPredictMode below) and is bit-identical to its pre-plan
+// behaviour — it is the differential arm the tier1-infer tests and
+// bench_svm_infer compare against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ml/svm.hpp"
+
+namespace xdmodml::ml {
+
+/// Prediction-path selector.  kCompiled (default) routes SvmClassifier
+/// prediction through the shared-pool plan; kLegacy keeps the original
+/// per-machine scalar kernel walk (differential / ablation arm).
+enum class SvmPredictMode { kLegacy, kCompiled };
+
+/// The active mode.  Selected once on first use from the
+/// XDMODML_SVM_PREDICT environment variable ("legacy" / "compiled";
+/// anything else, or unset, means compiled).
+SvmPredictMode svm_predict_mode();
+
+/// Forces the mode (A/B testing, the differential test suite).
+void set_svm_predict_mode(SvmPredictMode mode);
+
+/// "legacy" / "compiled".
+std::string_view svm_predict_mode_name(SvmPredictMode mode);
+
+/// Parses an XDMODML_SVM_PREDICT value; nullopt for anything
+/// unrecognized.  Exposed for tests.
+std::optional<SvmPredictMode> svm_predict_mode_from_string(
+    std::string_view name);
+
+/// Immutable compiled inference plan over a set of trained one-vs-one
+/// machines.  Build once (SvmClassifier does so after fit, or lazily and
+/// thread-safely after load), then share freely: every method is const
+/// and touches no mutable state.
+class SvmInferencePlan {
+ public:
+  /// One machine's view into the pool: decision value
+  ///   f(x) = Σ_s coef[s] · krow[sv_pool_idx[s]] − rho.
+  struct MachineSlice {
+    std::vector<std::uint32_t> sv_pool_idx;  ///< pool row per SV
+    std::vector<double> coef;                ///< alpha_i · y_i, aligned
+    double rho = 0.0;
+    PlattSigmoid sigmoid{};
+    bool has_platt = false;
+  };
+
+  /// Merges the machines' support vectors into the deduplicated pool.
+  /// Keyed on sv_full_rows() provenance when every machine carries it
+  /// (one fit's machines share a full-matrix keyspace), content hash
+  /// with bit-exact verification otherwise.  Updates the svm.plan.*
+  /// gauges.  Requires at least one trained machine.
+  static std::shared_ptr<const SvmInferencePlan> build(
+      std::span<const BinarySvm> machines, GramPrecision precision);
+
+  std::size_t unique_support_vectors() const { return unique_; }
+  std::size_t total_support_vectors() const { return total_; }
+  /// total / unique — how many machines the average pool row serves.
+  double dedup_ratio() const;
+  std::size_t dims() const { return dims_; }
+  GramPrecision precision() const { return precision_; }
+  bool provenance_keyed() const { return provenance_; }
+  /// Bytes of pool storage (support-vector payload at `precision`).
+  std::size_t pool_bytes() const;
+  const Kernel& kernel() const { return kernel_; }
+  std::size_t num_machines() const { return machines_.size(); }
+  const MachineSlice& machine(std::size_t idx) const {
+    return machines_[idx];
+  }
+
+  /// out[j] = k(x, pool_j) for j in [0, unique_support_vectors()).
+  /// One fused SIMD sweep; out.size() must be >= the pool size.
+  void kernel_row(std::span<const double> x, std::span<double> out) const;
+
+  /// Batched form: `queries` is b contiguous row-major query rows of
+  /// dims() doubles; out is b × unique_support_vectors() row-major.
+  /// Processes the pool block-outer / query-inner so each block of
+  /// support vectors is streamed from memory once per b queries.
+  void kernel_rows(const double* queries, std::size_t b, double* out) const;
+
+  /// Decision value of machine `idx` against a kernel row produced by
+  /// kernel_row(s) for the query.
+  double decision_value(std::size_t idx,
+                        std::span<const double> krow) const;
+
+ private:
+  SvmInferencePlan() = default;
+
+  /// Pool rows [lo, hi) for one query: SIMD dot sweep + kernel
+  /// transform into out[lo..hi).  `rows` is the (widened) block base.
+  void transform_block(std::span<const double> x, double x_sq,
+                       const double* rows, std::size_t lo, std::size_t hi,
+                       double* out) const;
+
+  Kernel kernel_;
+  GramPrecision precision_ = GramPrecision::kFloat64;
+  bool provenance_ = false;
+  std::size_t dims_ = 0;
+  std::size_t unique_ = 0;
+  std::size_t total_ = 0;
+  std::vector<double> pool_f64_;   ///< unique_ × dims_ (kFloat64 arm)
+  std::vector<float> pool_f32_;    ///< unique_ × dims_ (kFloat32 arm)
+  std::vector<double> sq_norms_;   ///< ‖pool_j‖² over the stored values
+  bool integral_degree_ = false;   ///< polynomial degree is a small int
+  std::uint64_t degree_int_ = 0;
+  std::vector<MachineSlice> machines_;
+};
+
+}  // namespace xdmodml::ml

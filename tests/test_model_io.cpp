@@ -10,6 +10,7 @@
 #include "ml/naive_bayes.hpp"
 #include "ml/random_forest.hpp"
 #include "ml/svm.hpp"
+#include "ml/svm_plan.hpp"
 #include "util/error.hpp"
 #include "workload/dataset_helpers.hpp"
 #include "workload/generator.hpp"
@@ -108,6 +109,13 @@ TEST(ModelIo, SvmRoundTripPredictionsIdentical) {
   const auto loaded = ml::SvmClassifier::load(in);
   EXPECT_EQ(loaded.num_machines(), svm.num_machines());
   EXPECT_EQ(loaded.total_support_vectors(), svm.total_support_vectors());
+  // v2 streams carry the SV provenance, so the reloaded compiled plan
+  // rebuilds the same deduplicated pool the pre-save model had.
+  const auto& plan = svm.inference_plan();
+  const auto& reloaded_plan = loaded.inference_plan();
+  EXPECT_EQ(reloaded_plan.unique_support_vectors(),
+            plan.unique_support_vectors());
+  EXPECT_EQ(reloaded_plan.provenance_keyed(), plan.provenance_keyed());
   for (std::size_t r = 0; r < ds.X.rows(); ++r) {
     const auto pa = svm.predict_proba(ds.X.row(r));
     const auto pb = loaded.predict_proba(ds.X.row(r));

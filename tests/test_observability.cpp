@@ -13,7 +13,14 @@
 #include <thread>
 #include <vector>
 
+#include "core/classification_service.hpp"
+#include "core/job_classifier.hpp"
+#include "ml/svm.hpp"
+#include "ml/svm_plan.hpp"
+#include "util/rng.hpp"
 #include "util/trace.hpp"
+#include "workload/dataset_helpers.hpp"
+#include "workload/generator.hpp"
 
 namespace xdmodml::obs {
 namespace {
@@ -306,6 +313,108 @@ TEST(Observability, RegistryResetZeroesEverythingButKeepsReferences) {
   ctr.inc();
   EXPECT_EQ(ctr.value(), 1u);
   EXPECT_EQ(&registry.counter("test_obs.reset_ctr"), &ctr);
+}
+
+// ---- compiled SVM inference plan metrics ----------------------------
+
+ml::SvmClassifier tiny_svm(bool probability = false) {
+  Matrix X;
+  std::vector<int> y;
+  Rng rng(9);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      X.append_row(std::vector<double>{rng.normal(4.0 * c, 0.8),
+                                       rng.normal(-2.0 * c, 0.8)});
+      y.push_back(c);
+    }
+  }
+  ml::SvmConfig cfg;
+  cfg.kernel = ml::Kernel::rbf(0.5);
+  cfg.c = 10.0;
+  cfg.probability = probability;
+  cfg.platt_cv_folds = 2;
+  ml::SvmClassifier clf(cfg, 3);
+  clf.fit(X, y, 3);
+  return clf;
+}
+
+TEST(Observability, SvmPlanGaugesPublishedOnBuild) {
+  ml::set_svm_predict_mode(ml::SvmPredictMode::kCompiled);
+  auto& registry = MetricsRegistry::instance();
+  const std::uint64_t builds_before =
+      registry.counter("svm.plan.builds").value();
+  const auto clf = tiny_svm();
+  const auto& plan = clf.inference_plan();
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(registry.counter("svm.plan.builds").value(), builds_before + 1);
+  EXPECT_EQ(snap.gauge("svm.plan.unique_svs"),
+            static_cast<std::int64_t>(plan.unique_support_vectors()));
+  EXPECT_EQ(snap.gauge("svm.plan.total_svs"),
+            static_cast<std::int64_t>(plan.total_support_vectors()));
+  EXPECT_EQ(snap.gauge("svm.plan.dedup_ratio_x1000"),
+            static_cast<std::int64_t>(plan.dedup_ratio() * 1000.0));
+  EXPECT_EQ(snap.gauge("svm.plan.pool_bytes"),
+            static_cast<std::int64_t>(plan.pool_bytes()));
+  EXPECT_EQ(snap.gauge("svm.plan.precision_bits"), 64);
+}
+
+TEST(Observability, SvmPredictCountersAccumulate) {
+  EnabledGuard toggle;
+  ml::set_svm_predict_mode(ml::SvmPredictMode::kCompiled);
+  auto& registry = MetricsRegistry::instance();
+  const auto clf = tiny_svm();
+  const auto& plan = clf.inference_plan();
+  const auto unique =
+      static_cast<std::uint64_t>(plan.unique_support_vectors());
+
+  auto& queries = registry.counter("svm.predict.queries");
+  auto& elements = registry.counter("svm.predict.kernel_row_elements");
+  auto& batches = registry.counter("svm.predict.batches");
+  auto& batch_hist = registry.histogram("svm.predict.batch_ns", "ns");
+
+  const std::vector<double> x{1.0, -1.0};
+  const std::uint64_t q0 = queries.value();
+  const std::uint64_t e0 = elements.value();
+  (void)clf.predict_proba(x);
+  EXPECT_EQ(queries.value(), q0 + 1);
+  EXPECT_EQ(elements.value(), e0 + unique);
+
+  Matrix probes;
+  for (int i = 0; i < 5; ++i) probes.append_row(x);
+  const std::uint64_t b0 = batches.value();
+  const std::uint64_t h0 = batch_hist.count();
+  set_enabled(true);  // batch latency histograms are gated on the toggle
+  (void)clf.predict_proba_batch(probes);
+  EXPECT_EQ(queries.value(), q0 + 6);
+  EXPECT_EQ(elements.value(), e0 + 6 * unique);
+  EXPECT_EQ(batches.value(), b0 + 1);
+  EXPECT_EQ(batch_hist.count(), h0 + 1);
+}
+
+TEST(Observability, ServiceReportSurfacesPlanInfo) {
+  ml::set_svm_predict_mode(ml::SvmPredictMode::kCompiled);
+  auto gen = workload::WorkloadGenerator::standard({}, 77);
+  const auto train_jobs = gen.generate_balanced(6);
+  const auto schema = supremm::AttributeSchema::full();
+  const auto train = workload::build_summary_dataset(
+      train_jobs, schema, supremm::label_by_application());
+  core::JobClassifierConfig cfg;
+  cfg.algorithm = core::Algorithm::kSvm;
+  cfg.svm.c = 10.0;
+  cfg.svm.probability = false;
+  auto clf = std::make_shared<core::JobClassifier>(cfg);
+  clf->train(train);
+
+  // The plan is built eagerly by the compiled-mode fit, so the report's
+  // model line carries the pool stats without any prediction happening.
+  core::ClassificationService service(clf, 0.5);
+  const auto report = service.report();
+  EXPECT_NE(report.find("model: svm"), std::string::npos);
+  EXPECT_NE(report.find("predict=compiled"), std::string::npos);
+  EXPECT_NE(report.find("plan "), std::string::npos);
+  EXPECT_NE(report.find("dedup"), std::string::npos);
+  EXPECT_NE(clf->model_info().find("machines"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,421 @@
+// Differential tests for the compiled SVM inference plan (ml/svm_plan):
+// the compiled path (deduplicated support-vector pool + SIMD kernel
+// rows + sparse per-machine reduction) must agree with the legacy
+// per-machine scalar kernel walk across kernels, pool precisions,
+// ISAs, batch shapes, serialization round trips and concurrent first
+// use.  Registered under the `tier1-infer` ctest label, plus an
+// XDMODML_SIMD=scalar environment rerun.
+#include "ml/svm_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "ml/svm.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace xdmodml::ml {
+namespace {
+
+/// Restores the prediction mode on scope exit so one test's toggle
+/// cannot leak into another.
+class ModeGuard {
+ public:
+  explicit ModeGuard(SvmPredictMode mode) : prev_(svm_predict_mode()) {
+    set_svm_predict_mode(mode);
+  }
+  ~ModeGuard() { set_svm_predict_mode(prev_); }
+  ModeGuard(const ModeGuard&) = delete;
+  ModeGuard& operator=(const ModeGuard&) = delete;
+
+ private:
+  SvmPredictMode prev_;
+};
+
+/// Same for the SIMD ISA.
+class IsaGuard {
+ public:
+  explicit IsaGuard(simd::Isa isa) : prev_(simd::active()) {
+    simd::set_active(isa);
+  }
+  ~IsaGuard() { simd::set_active(prev_); }
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+
+ private:
+  simd::Isa prev_;
+};
+
+// Five features so the SIMD 4-lane kernels exercise a remainder lane.
+void make_blobs5(std::size_t per_class, std::size_t classes, Matrix& X,
+                 std::vector<int>& y, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double cx = 3.5 * static_cast<double>(c);
+    for (std::size_t i = 0; i < per_class; ++i) {
+      X.append_row(std::vector<double>{
+          rng.normal(cx, 0.8), rng.normal(cx * 0.5, 0.8),
+          rng.normal(-cx, 0.8), rng.normal(0.0, 0.8),
+          rng.normal(cx * 0.25, 0.8)});
+      y.push_back(static_cast<int>(c));
+    }
+  }
+}
+
+Matrix probe_rows(std::size_t n, std::uint64_t seed = 77) {
+  Rng rng(seed);
+  Matrix probes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cx = 3.5 * static_cast<double>(i % 3);
+    probes.append_row(std::vector<double>{
+        rng.normal(cx, 1.2), rng.normal(cx * 0.5, 1.2),
+        rng.normal(-cx, 1.2), rng.normal(0.0, 1.2),
+        rng.normal(cx * 0.25, 1.2)});
+  }
+  return probes;
+}
+
+SvmClassifier train_blobs(SvmConfig cfg, std::size_t classes = 3,
+                          std::size_t per_class = 25) {
+  Matrix X;
+  std::vector<int> y;
+  make_blobs5(per_class, classes, X, y);
+  SvmClassifier clf(cfg, 5);
+  clf.fit(X, y, static_cast<int>(classes));
+  return clf;
+}
+
+SvmConfig infer_config(Kernel kernel, bool probability) {
+  SvmConfig cfg;
+  cfg.kernel = kernel;
+  cfg.c = 10.0;
+  cfg.probability = probability;
+  cfg.platt_cv_folds = 2;
+  return cfg;
+}
+
+TEST(SvmPredictMode, ParseAndNames) {
+  EXPECT_EQ(svm_predict_mode_from_string("legacy"), SvmPredictMode::kLegacy);
+  EXPECT_EQ(svm_predict_mode_from_string("compiled"),
+            SvmPredictMode::kCompiled);
+  EXPECT_FALSE(svm_predict_mode_from_string("auto").has_value());
+  EXPECT_FALSE(svm_predict_mode_from_string("").has_value());
+  EXPECT_EQ(svm_predict_mode_name(SvmPredictMode::kLegacy), "legacy");
+  EXPECT_EQ(svm_predict_mode_name(SvmPredictMode::kCompiled), "compiled");
+}
+
+TEST(SvmPredictMode, SetOverrides) {
+  const SvmPredictMode before = svm_predict_mode();
+  {
+    ModeGuard guard(SvmPredictMode::kLegacy);
+    EXPECT_EQ(svm_predict_mode(), SvmPredictMode::kLegacy);
+    set_svm_predict_mode(SvmPredictMode::kCompiled);
+    EXPECT_EQ(svm_predict_mode(), SvmPredictMode::kCompiled);
+  }
+  EXPECT_EQ(svm_predict_mode(), before);
+}
+
+// The core differential: for every kernel family, compiled labels /
+// vote labels match legacy exactly and decision values / probabilities
+// agree to 1e-10 (the compiled RBF path evaluates exp(−γ(‖x‖²+‖y‖²
+// −2x·y)) instead of exp(−γ‖x−y‖²), so bit-equality is not expected).
+TEST(SvmInferDifferential, CompiledMatchesLegacyAcrossKernels) {
+  const std::vector<Kernel> kernels = {
+      Kernel::rbf(0.3), Kernel::linear(), Kernel::polynomial(3.0, 0.5, 1.0)};
+  const Matrix probes = probe_rows(12);
+  for (const auto& kernel : kernels) {
+    for (const bool probability : {true, false}) {
+      const auto clf = train_blobs(infer_config(kernel, probability));
+      const auto& plan = clf.inference_plan();
+      std::vector<double> krow(plan.unique_support_vectors());
+      for (std::size_t p = 0; p < probes.rows(); ++p) {
+        const auto x = probes.row(p);
+        // Per-machine decision values.
+        plan.kernel_row(x, krow);
+        for (std::size_t m = 0; m < clf.num_machines(); ++m) {
+          const double legacy = clf.machine(m).decision_value(x);
+          EXPECT_NEAR(plan.decision_value(m, krow), legacy, 1e-10)
+              << kernel.name() << " machine " << m << " probe " << p;
+        }
+        // End-to-end labels, votes and probabilities.
+        std::vector<double> legacy_proba;
+        int legacy_label = 0;
+        int legacy_votes = 0;
+        {
+          ModeGuard guard(SvmPredictMode::kLegacy);
+          legacy_proba = clf.predict_proba(x);
+          legacy_label = clf.predict(x);
+          legacy_votes = clf.predict_by_votes(x);
+        }
+        ModeGuard guard(SvmPredictMode::kCompiled);
+        EXPECT_EQ(clf.predict(x), legacy_label);
+        EXPECT_EQ(clf.predict_by_votes(x), legacy_votes);
+        const auto proba = clf.predict_proba(x);
+        ASSERT_EQ(proba.size(), legacy_proba.size());
+        for (std::size_t c = 0; c < proba.size(); ++c) {
+          EXPECT_NEAR(proba[c], legacy_proba[c], 1e-10)
+              << kernel.name() << " class " << c << " probe " << p;
+        }
+      }
+    }
+  }
+}
+
+// The scalar ISA must reproduce the vector ISA through the plan (both
+// run the same norm-expansion math; only rounding differs).
+TEST(SvmInferDifferential, ScalarIsaMatchesVectorIsa) {
+  if (!simd::available(simd::Isa::kAvx2)) GTEST_SKIP() << "scalar-only build";
+  ModeGuard mode(SvmPredictMode::kCompiled);
+  const auto clf = train_blobs(infer_config(Kernel::rbf(0.3), true));
+  const Matrix probes = probe_rows(8);
+  std::vector<std::vector<double>> vec_proba;
+  {
+    IsaGuard isa(simd::Isa::kAvx2);
+    for (std::size_t p = 0; p < probes.rows(); ++p) {
+      vec_proba.push_back(clf.predict_proba(probes.row(p)));
+    }
+  }
+  IsaGuard isa(simd::Isa::kScalar);
+  for (std::size_t p = 0; p < probes.rows(); ++p) {
+    const auto proba = clf.predict_proba(probes.row(p));
+    for (std::size_t c = 0; c < proba.size(); ++c) {
+      EXPECT_NEAR(proba[c], vec_proba[p][c], 1e-10);
+    }
+  }
+}
+
+// Float32 pool: labels identical, decision values within a tolerance
+// scaled by the machine's coefficient mass (coordinate quantization is
+// ~1e-7 relative; the kernel error it induces is amplified by Σ|coef|).
+TEST(SvmInferDifferential, Float32PoolCloseToFloat64) {
+  ModeGuard mode(SvmPredictMode::kCompiled);
+  auto clf = train_blobs(infer_config(Kernel::rbf(0.3), true));
+  const auto& f64 = clf.inference_plan();
+  ASSERT_EQ(f64.precision(), GramPrecision::kFloat64);
+  std::vector<double> krow64(f64.unique_support_vectors());
+
+  auto clf32 = clf;  // copies re-derive their plan
+  clf32.set_plan_precision(GramPrecision::kFloat32);
+  const auto& f32 = clf32.inference_plan();
+  ASSERT_EQ(f32.precision(), GramPrecision::kFloat32);
+  EXPECT_EQ(f32.unique_support_vectors(), f64.unique_support_vectors());
+  EXPECT_EQ(f32.pool_bytes() * 2, f64.pool_bytes());
+  std::vector<double> krow32(f32.unique_support_vectors());
+
+  const Matrix probes = probe_rows(10);
+  for (std::size_t p = 0; p < probes.rows(); ++p) {
+    const auto x = probes.row(p);
+    f64.kernel_row(x, krow64);
+    f32.kernel_row(x, krow32);
+    for (std::size_t m = 0; m < clf.num_machines(); ++m) {
+      double mag = 0.0;
+      for (const double c : f64.machine(m).coef) mag += std::abs(c);
+      EXPECT_NEAR(f32.decision_value(m, krow32),
+                  f64.decision_value(m, krow64), 1e-4 * (1.0 + mag));
+    }
+    EXPECT_EQ(clf32.predict(x), clf.predict(x));
+  }
+}
+
+// The batched sweep evaluates each query independently of its block, so
+// batch results are bit-identical to the single-row compiled calls.
+TEST(SvmInferBatch, BatchMatchesSingleExactly) {
+  ModeGuard mode(SvmPredictMode::kCompiled);
+  for (const bool probability : {true, false}) {
+    const auto clf =
+        train_blobs(infer_config(Kernel::rbf(0.3), probability));
+    // 13 rows: exercises a partial trailing query block (13 = 8 + 5).
+    const Matrix probes = probe_rows(13);
+    const auto batch_labels = clf.predict_batch(probes);
+    const auto batch_proba = clf.predict_proba_batch(probes);
+    const auto batch_pred = clf.predict_batch_with_probability(probes);
+    ASSERT_EQ(batch_labels.size(), probes.rows());
+    ASSERT_EQ(batch_proba.size(), probes.rows());
+    ASSERT_EQ(batch_pred.size(), probes.rows());
+    for (std::size_t p = 0; p < probes.rows(); ++p) {
+      const auto x = probes.row(p);
+      EXPECT_EQ(batch_labels[p], clf.predict(x));
+      const auto single = clf.predict_proba(x);
+      ASSERT_EQ(batch_proba[p].size(), single.size());
+      for (std::size_t c = 0; c < single.size(); ++c) {
+        EXPECT_DOUBLE_EQ(batch_proba[p][c], single[c]);
+      }
+      const auto pred = clf.predict_with_probability(x);
+      EXPECT_EQ(batch_pred[p].label, pred.label);
+      EXPECT_DOUBLE_EQ(batch_pred[p].probability, pred.probability);
+    }
+  }
+}
+
+TEST(SvmInferPlan, DedupStatsAndProvenanceKeying) {
+  ModeGuard mode(SvmPredictMode::kCompiled);
+  // Default config: one-vs-one machines share the per-fit Gram cache,
+  // so every machine carries full-matrix provenance.
+  const auto clf = train_blobs(infer_config(Kernel::rbf(0.3), true));
+  const auto& plan = clf.inference_plan();
+  EXPECT_TRUE(plan.provenance_keyed());
+  EXPECT_EQ(plan.total_support_vectors(), clf.total_support_vectors());
+  EXPECT_LE(plan.unique_support_vectors(), plan.total_support_vectors());
+  EXPECT_GE(plan.dedup_ratio(), 1.0);
+  EXPECT_EQ(plan.dims(), 5u);
+  EXPECT_EQ(plan.pool_bytes(),
+            plan.unique_support_vectors() * 5 * sizeof(double));
+  // A 3-class one-vs-one fit reuses training rows across pairs; some
+  // dedup must happen for the pool to be worth building.
+  EXPECT_LT(plan.unique_support_vectors(), plan.total_support_vectors());
+}
+
+TEST(SvmInferPlan, RoundTripPreservesUniqueCount) {
+  ModeGuard mode(SvmPredictMode::kCompiled);
+  // Provenance arm: v2 serialization carries sv_full_rows, so the
+  // reloaded plan index-dedups to the same pool.
+  {
+    const auto clf = train_blobs(infer_config(Kernel::rbf(0.3), true));
+    const auto& plan = clf.inference_plan();
+    ASSERT_TRUE(plan.provenance_keyed());
+    std::stringstream stream;
+    clf.save(stream);
+    const auto loaded = SvmClassifier::load(stream);
+    const auto& reloaded = loaded.inference_plan();
+    EXPECT_TRUE(reloaded.provenance_keyed());
+    EXPECT_EQ(reloaded.unique_support_vectors(),
+              plan.unique_support_vectors());
+    EXPECT_EQ(reloaded.total_support_vectors(),
+              plan.total_support_vectors());
+  }
+  // Content arm: machines fitted without the shared cache carry no
+  // provenance; dedup falls back to content hashing on both sides of
+  // the round trip and still finds the same pool (shared training rows
+  // are gathered bit-identically into each machine).
+  {
+    auto cfg = infer_config(Kernel::rbf(0.3), true);
+    cfg.share_kernel_cache = false;
+    const auto clf = train_blobs(cfg);
+    const auto& plan = clf.inference_plan();
+    EXPECT_FALSE(plan.provenance_keyed());
+    std::stringstream stream;
+    clf.save(stream);
+    const auto loaded = SvmClassifier::load(stream);
+    const auto& reloaded = loaded.inference_plan();
+    EXPECT_FALSE(reloaded.provenance_keyed());
+    EXPECT_EQ(reloaded.unique_support_vectors(),
+              plan.unique_support_vectors());
+    EXPECT_EQ(reloaded.total_support_vectors(),
+              plan.total_support_vectors());
+  }
+}
+
+// A crafted v1 stream (no provenance vectors) must still load, and its
+// plan must content-dedup the shared support vector across machines.
+TEST(SvmInferPlan, V1StreamLoadsAndContentDedups) {
+  ModeGuard mode(SvmPredictMode::kCompiled);
+  const auto machine = [](double rho) {
+    return "binary-svm-v1\nkernel_type 1\ngamma 0.5\ndegree 3\ncoef0 0\n"
+           "rho " +
+           std::to_string(rho) +
+           "\nhas_platt 1\nplatt_a -2\nplatt_b 0\nsvs 1\ndims 2\n"
+           "coef 1 1\nsv 2 1 2\n";
+  };
+  std::stringstream stream("svm-ovo-v1\nclasses 3\nprobability 1\n"
+                           "machines 3\n" +
+                           machine(0.1) + machine(0.2) + machine(0.3));
+  const auto clf = SvmClassifier::load(stream);
+  const auto& plan = clf.inference_plan();
+  EXPECT_FALSE(plan.provenance_keyed());
+  EXPECT_EQ(plan.total_support_vectors(), 3u);
+  EXPECT_EQ(plan.unique_support_vectors(), 1u);
+  EXPECT_NEAR(plan.dedup_ratio(), 3.0, 1e-12);
+  const std::vector<double> x{1.0, 2.0};
+  int legacy_label = 0;
+  std::vector<double> legacy_proba;
+  {
+    ModeGuard legacy(SvmPredictMode::kLegacy);
+    legacy_label = clf.predict(x);
+    legacy_proba = clf.predict_proba(x);
+  }
+  EXPECT_EQ(clf.predict(x), legacy_label);
+  const auto proba = clf.predict_proba(x);
+  for (std::size_t c = 0; c < proba.size(); ++c) {
+    EXPECT_NEAR(proba[c], legacy_proba[c], 1e-10);
+  }
+}
+
+// Regression for concurrent first use: two threads race predict_batch
+// against predict_proba on a freshly loaded model (no plan yet); the
+// call_once build must run exactly once and both threads must see a
+// fully formed plan.
+TEST(SvmInferConcurrency, ConcurrentFirstUseBuildsOnce) {
+  ModeGuard mode(SvmPredictMode::kCompiled);
+  const auto trained = train_blobs(infer_config(Kernel::rbf(0.3), true));
+  std::stringstream stream;
+  trained.save(stream);
+
+  const Matrix probes = probe_rows(16);
+  // Serial reference from an independently loaded copy.
+  std::stringstream ref_stream(stream.str());
+  const auto reference = SvmClassifier::load(ref_stream);
+  const auto ref_labels = reference.predict_batch(probes);
+  const auto ref_proba = reference.predict_proba(probes.row(0));
+
+  auto& builds =
+      obs::MetricsRegistry::instance().counter("svm.plan.builds");
+  const std::uint64_t builds_before = builds.value();
+
+  const auto fresh = SvmClassifier::load(stream);
+  ASSERT_EQ(fresh.plan_if_built(), nullptr);
+  std::vector<int> labels;
+  std::vector<double> proba;
+  std::thread batch_thread(
+      [&] { labels = fresh.predict_batch(probes); });
+  std::thread proba_thread(
+      [&] { proba = fresh.predict_proba(probes.row(0)); });
+  batch_thread.join();
+  proba_thread.join();
+
+  EXPECT_EQ(builds.value(), builds_before + 1);
+  ASSERT_NE(fresh.plan_if_built(), nullptr);
+  EXPECT_EQ(labels, ref_labels);
+  ASSERT_EQ(proba.size(), ref_proba.size());
+  for (std::size_t c = 0; c < proba.size(); ++c) {
+    EXPECT_DOUBLE_EQ(proba[c], ref_proba[c]);
+  }
+}
+
+TEST(SvmInferPlan, EagerAfterFitLazyAfterLoad) {
+  // Compiled-mode fits build the plan eagerly; legacy-mode fits skip it
+  // (a grid search under the legacy toggle never pays for pools).
+  {
+    ModeGuard mode(SvmPredictMode::kCompiled);
+    const auto clf = train_blobs(infer_config(Kernel::rbf(0.3), false));
+    EXPECT_NE(clf.plan_if_built(), nullptr);
+  }
+  {
+    ModeGuard mode(SvmPredictMode::kLegacy);
+    const auto clf = train_blobs(infer_config(Kernel::rbf(0.3), false));
+    EXPECT_EQ(clf.plan_if_built(), nullptr);
+  }
+}
+
+TEST(SvmInferPlan, RejectsUntrainedAndMismatchedProbes) {
+  ModeGuard mode(SvmPredictMode::kCompiled);
+  SvmClassifier clf;
+  EXPECT_THROW(clf.inference_plan(), InvalidArgument);
+  const auto trained = train_blobs(infer_config(Kernel::rbf(0.3), false));
+  const auto& plan = trained.inference_plan();
+  std::vector<double> krow(plan.unique_support_vectors());
+  const std::vector<double> narrow{1.0, 2.0};
+  EXPECT_THROW(plan.kernel_row(narrow, krow), InvalidArgument);
+  std::vector<double> short_out(plan.unique_support_vectors() - 1);
+  const std::vector<double> x(5, 0.0);
+  EXPECT_THROW(plan.kernel_row(x, short_out), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xdmodml::ml
